@@ -1,0 +1,1 @@
+bench/common.ml: Float List Printf Quilt_apps Quilt_core Quilt_platform Quilt_util String Sys Unix

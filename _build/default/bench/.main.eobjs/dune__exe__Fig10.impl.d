@@ -1,0 +1,1 @@
+bench/fig10.ml: Common List Printf Quilt Quilt_apps Quilt_platform Quilt_util

@@ -1,0 +1,1 @@
+bench/fig6.ml: Common Config List Printf Quilt Quilt_apps Quilt_platform Quilt_util String Workflow

@@ -1,0 +1,1 @@
+bench/fig7.ml: Array Common Config List Printf Quilt Quilt_apps Quilt_cluster Quilt_core Quilt_dag Quilt_platform Quilt_util Workflow

@@ -1,0 +1,1 @@
+bench/fig8.ml: Common List Printf Quilt Quilt_apps Quilt_cluster Quilt_dag Quilt_lang Quilt_merge Quilt_platform Quilt_util Workflow

@@ -1,0 +1,1 @@
+bench/fig9.ml: Common List Printf Quilt_cluster Quilt_dag Quilt_util

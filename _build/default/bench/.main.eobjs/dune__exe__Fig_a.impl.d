@@ -1,0 +1,1 @@
+bench/fig_a.ml: Common List Printf Quilt_cluster Quilt_dag

@@ -1,0 +1,1 @@
+bench/main.ml: Array Common Fig10 Fig6 Fig7 Fig8 Fig9 Fig_a List Micro Printf Sys Table_e

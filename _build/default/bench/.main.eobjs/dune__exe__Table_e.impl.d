@@ -1,0 +1,1 @@
+bench/table_e.ml: Common List Printf Quilt_apps Quilt_lang Quilt_merge Quilt_util Workflow

@@ -1,0 +1,47 @@
+(* Shared helpers for the benchmark harness. *)
+
+module Engine = Quilt_platform.Engine
+module Loadgen = Quilt_platform.Loadgen
+module Workflow = Quilt_apps.Workflow
+module Config = Quilt_core.Config
+module Quilt = Quilt_core.Quilt
+
+(* QUILT_BENCH_FAST=1 shrinks run durations and sweep densities so the whole
+   harness completes in well under a minute; default runs use the full
+   parameters recorded in EXPERIMENTS.md. *)
+let fast = Sys.getenv_opt "QUILT_BENCH_FAST" <> None
+
+let scale x = if fast then x /. 4.0 else x
+
+let section title =
+  Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n-- %s --\n%!" title
+
+let paper_note lines =
+  List.iter (fun l -> Printf.printf "  paper: %s\n" l) lines;
+  flush stdout
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let median_time ?(reps = 3) f =
+  let times = List.init reps (fun _ -> snd (time_it f)) in
+  Quilt_util.Stats.median times
+
+(* Latency run of one deployment setup: a single connection at low load,
+   as Figure 6 — requests arrive with gaps, so idle containers pay
+   Fission's re-specialization, which is part of what merging removes. *)
+let latency_run engine ~entry ~gen_req ~duration_us =
+  Loadgen.run_open_loop engine ~entry ~gen_req ~rate_rps:2.0 ~duration_us
+    ~warmup_us:(Float.min (duration_us *. 0.25) 20_000_000.0)
+    ()
+
+let optimize_or_fail cfg wf =
+  match Quilt.optimize cfg ~workflows:[ wf ] wf with
+  | Ok t -> t
+  | Error e -> failwith (Printf.sprintf "optimize %s: %s" wf.Workflow.wf_name e)
+
+let pct_improvement ~baseline ~better = 100.0 *. (baseline -. better) /. baseline

@@ -1,0 +1,138 @@
+(* Figure 8: the cost of Quilt's own machinery.
+   (a) profiling overhead on a no-op function across loads;
+   (b) time to find a good grouping vs graph size (optimal, simple
+       weighted-degree heuristic, Downstream Impact);
+   (c) time to compile, link, and merge the DeathStarBench workflows. *)
+
+open Common
+module Special = Quilt_apps.Special
+module Deathstar = Quilt_apps.Deathstar
+module Loadgen = Quilt_platform.Loadgen
+module Engine = Quilt_platform.Engine
+module Gen = Quilt_dag.Gen
+module Types = Quilt_cluster.Types
+module Decision = Quilt_cluster.Decision
+module Frontend = Quilt_lang.Frontend
+module Pipeline = Quilt_merge.Pipeline
+module Rng = Quilt_util.Rng
+
+(* --- 8a --- *)
+
+let run_8a () =
+  subsection "Figure 8a: cost of profiling (no-op function)";
+  let wf = Special.noop () in
+  let rates = if fast then [ 1.0; 10.0; 400.0 ] else [ 1.0; 2.0; 5.0; 10.0; 25.0; 50.0; 100.0; 200.0; 400.0; 800.0 ] in
+  let run ~profiled =
+    List.map
+      (fun rate ->
+        let engine = Quilt.fresh_platform ~workflows:[ wf ] () in
+        Engine.set_profiling engine profiled;
+        let r =
+          Loadgen.run_open_loop engine ~entry:"noop" ~gen_req:wf.Workflow.gen_req ~rate_rps:rate
+            ~duration_us:12_000_000.0 ~warmup_us:2_000_000.0 ()
+        in
+        (rate, Loadgen.median_ms r, r.Loadgen.throughput_rps))
+      rates
+  in
+  let off = run ~profiled:false and on = run ~profiled:true in
+  Printf.printf "  %-10s %12s %12s %12s\n" "rate(rps)" "median(off)" "median(on)" "overhead";
+  List.iter2
+    (fun (rate, m_off, _) (_, m_on, _) ->
+      Printf.printf "  %-10.0f %10.2fms %10.2fms %+11.1f%%\n" rate m_off m_on
+        (100.0 *. (m_on -. m_off) /. m_off))
+    off on;
+  (match off with
+  | (_, first, _) :: _ ->
+      let last = List.nth off (List.length off - 1) in
+      let _, lm, _ = last in
+      Printf.printf "\n  Fission quirk reproduced: median %.2fms at %.0f rps vs %.2fms at %.0f rps\n" first
+        (match List.hd off with r, _, _ -> r)
+        lm
+        (match last with r, _, _ -> r)
+  | [] -> ());
+  paper_note
+    [
+      "median latency of the no-op function decreases as load increases (container reuse);";
+      "tracing/profiling has minimal impact (the nginx hop is collocated with the gateway).";
+    ]
+
+(* --- 8b --- *)
+
+let decision_time algorithm g lim =
+  median_time ~reps:(if fast then 1 else 3) (fun () -> ignore (Decision.solve algorithm g lim))
+
+let run_8b () =
+  subsection "Figure 8b: time to find the grouping vs graph size";
+  Printf.printf "  %-8s %14s %18s %18s\n" "|V|" "optimal" "weighted-degree" "downstream-impact";
+  let sizes = if fast then [ 6; 10; 25; 100 ] else [ 4; 6; 8; 10; 12; 25; 50; 100; 200; 400; 800 ] in
+  List.iter
+    (fun n ->
+      let rng = Rng.create (1000 + n) in
+      let g, lims = Gen.random_rdag rng ~n ~heavy_fraction:0.15 () in
+      let lim = { Types.max_cpu = lims.Gen.max_cpu; max_mem_mb = lims.Gen.max_mem_mb } in
+      let opt_time =
+        if n <= 12 then Printf.sprintf "%10.4fs" (decision_time Decision.Optimal g lim)
+        else "         - "
+      in
+      let wd_time =
+        if n <= 200 then Printf.sprintf "%14.4fs" (decision_time Decision.Weighted_degree g lim)
+        else "             - "
+      in
+      (* The Downstream Impact algorithm switches to its GRASP large-graph
+         mode (Appendix C.4) beyond the pool-sweep scale. *)
+      let dih_alg = if n <= 50 then Decision.Dih else Decision.Grasp in
+      let dih_time = decision_time dih_alg g lim in
+      Printf.printf "  %-8d %s %s %14.4fs\n" n opt_time wd_time dih_time)
+    sizes;
+  paper_note
+    [
+      "optimal is practical below ~20 functions and explodes beyond;";
+      "Downstream Impact takes <0.27s (median) up to 200 nodes and ~3.1s at 800 nodes.";
+    ]
+
+(* --- 8c --- *)
+
+(* The paper's absolute numbers are dominated by rustc compiling each
+   function's dependencies (~1.5 minutes regardless of workflow size); our
+   frontends take microseconds, so we report measured QIR pipeline times
+   alongside a calibrated toolchain model. *)
+let toolchain_model ~n_functions =
+  let compile_and_link_s = 88.0 in
+  let merge_s = 3.4 *. float_of_int n_functions in
+  (compile_and_link_s, merge_s)
+
+let run_8c () =
+  subsection "Figure 8 (compile/link/merge time per workflow)";
+  Printf.printf "  %-22s %4s %14s %12s %18s %15s\n" "workflow" "#fn" "qir-compile" "qir-merge"
+    "modeled-compile" "modeled-merge";
+  let wfs = Deathstar.all ~async:false () in
+  List.iter
+    (fun wf ->
+      let fns = wf.Workflow.functions in
+      let compile_t =
+        median_time ~reps:(if fast then 1 else 3) (fun () ->
+            List.iter (fun f -> ignore (Frontend.compile f)) fns)
+      in
+      let members = Workflow.fn_names wf in
+      let merge_t =
+        median_time ~reps:(if fast then 1 else 3) (fun () ->
+            ignore
+              (Pipeline.merge_group
+                 ~lookup:(fun svc -> Workflow.lookup wf svc)
+                 ~members ~root:wf.Workflow.entry ()))
+      in
+      let mc, mm = toolchain_model ~n_functions:(List.length fns) in
+      Printf.printf "  %-22s %4d %12.2fms %10.2fms %16.0fs %13.0fs\n" wf.Workflow.wf_name
+        (List.length fns) (compile_t *. 1000.0) (merge_t *. 1000.0) mc mm)
+    wfs;
+  paper_note
+    [
+      "compiling+linking takes ~1.5 min regardless of workflow size (dependencies dominate);";
+      "merging time scales linearly with the number of functions.";
+    ]
+
+let run () =
+  section "Figure 8: profiling, decision, and merging costs";
+  run_8a ();
+  run_8b ();
+  run_8c ()

@@ -1,0 +1,40 @@
+(* Benchmark harness: one section per table/figure of the paper's
+   evaluation.  Run everything with `dune exec bench/main.exe`, or a single
+   experiment with e.g. `dune exec bench/main.exe -- fig7`.  Set
+   QUILT_BENCH_FAST=1 for a quick pass. *)
+
+let experiments =
+  [
+    ("fig6", Fig6.run, "workflow latency, baseline vs Quilt (Figure 6)");
+    ("fig7", Fig7.run, "latency/throughput vs load, incl. CM and 7c (Figure 7)");
+    ("fig8", Fig8.run, "profiling, decision and merging costs (Figure 8)");
+    ("fig9", Fig9.run, "decision quality on random rDAGs (Figure 9)");
+    ("fig10", Fig10.run, "conditional invocations under fan-out (Figure 10)");
+    ("table_e", Table_e.run, "binary sizes (Appendix E)");
+    ("figA", Fig_a.run, "more subgraphs can cost less (Appendix A)");
+    ("micro", Micro.run, "bechamel micro-benchmarks of the core algorithms");
+  ]
+
+let usage () =
+  print_endline "usage: bench/main.exe [experiment...]";
+  print_endline "experiments:";
+  List.iter (fun (name, _, descr) -> Printf.printf "  %-8s %s\n" name descr) experiments
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--help" ] | [ "help" ] -> usage ()
+  | [] ->
+      Printf.printf "Quilt benchmark harness (all experiments%s)\n"
+        (if Common.fast then ", fast mode" else "");
+      List.iter (fun (_, run, _) -> run ()) experiments
+  | names ->
+      List.iter
+        (fun name ->
+          match List.find_opt (fun (n, _, _) -> n = name) experiments with
+          | Some (_, run, _) -> run ()
+          | None ->
+              Printf.printf "unknown experiment %s\n" name;
+              usage ();
+              exit 1)
+        names

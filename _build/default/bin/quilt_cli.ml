@@ -1,0 +1,151 @@
+(* The quilt command-line tool: inspect, decide, merge, and benchmark the
+   bundled workflows on the simulated platform.
+
+     quilt list                       workflows available
+     quilt inspect compose-post      profile and print the call graph
+     quilt decide compose-post       profile + run the decision algorithm
+     quilt merge compose-post        run the full merge pipeline; --dump-ir
+     quilt bench compose-post        baseline-vs-quilt latency comparison *)
+
+module Engine = Quilt_platform.Engine
+module Loadgen = Quilt_platform.Loadgen
+module Callgraph = Quilt_dag.Callgraph
+module Types = Quilt_cluster.Types
+module Deathstar = Quilt_apps.Deathstar
+module Special = Quilt_apps.Special
+module Workflow = Quilt_apps.Workflow
+module Config = Quilt_core.Config
+module Quilt = Quilt_core.Quilt
+module Pipeline = Quilt_merge.Pipeline
+module Sizes = Quilt_merge.Sizes
+
+let workflows ~async =
+  Deathstar.all ~async ()
+  @ [ Special.modified_nearby_cinema (); Special.noop (); Special.cross_language ();
+      Special.fan_out ~callee_mem_mb:14 () ]
+
+let find_workflow ~async name =
+  match List.find_opt (fun w -> w.Workflow.wf_name = name) (workflows ~async) with
+  | Some wf -> wf
+  | None ->
+      Printf.eprintf "unknown workflow %s; try `quilt list`\n" name;
+      exit 1
+
+(* --- commands --- *)
+
+let list_cmd () =
+  List.iter
+    (fun wf ->
+      Printf.printf "%-22s %2d functions, entry %s, languages {%s}\n" wf.Workflow.wf_name
+        (List.length wf.Workflow.functions)
+        wf.Workflow.entry
+        (String.concat ", "
+           (List.sort_uniq compare (List.map (fun f -> f.Quilt_lang.Ast.fn_lang) wf.Workflow.functions))))
+    (workflows ~async:false)
+
+let profile_graph ~async name =
+  let wf = find_workflow ~async name in
+  match Quilt.profile Config.default ~workflows:[ wf ] wf with
+  | Ok g -> (wf, g)
+  | Error e ->
+      Printf.eprintf "profiling failed: %s\n" e;
+      exit 1
+
+let inspect_cmd async dot name =
+  let _, g = profile_graph ~async name in
+  if dot then print_string (Callgraph.to_dot g) else Format.printf "%a@." Callgraph.pp g
+
+let decide_cmd async name =
+  let wf, g = profile_graph ~async name in
+  match Quilt.optimize ~graph:g Config.default ~workflows:[ wf ] wf with
+  | Ok t ->
+      Format.printf "%a@." (Types.pp_solution g) t.Quilt.solution;
+      print_string (Quilt.describe t)
+  | Error e ->
+      Printf.eprintf "decision failed: %s\n" e;
+      exit 1
+
+let merge_cmd async dump_ir name =
+  let wf = find_workflow ~async name in
+  let report =
+    Pipeline.merge_group
+      ~lookup:(fun svc -> Workflow.lookup wf svc)
+      ~members:(Workflow.fn_names wf) ~root:wf.Workflow.entry ()
+  in
+  Printf.printf "merged %s: %d rounds, %d symbols stripped, languages {%s}, %.2f MB\n"
+    wf.Workflow.wf_name
+    (List.length report.Pipeline.rounds)
+    report.Pipeline.removed_symbols
+    (String.concat ", " report.Pipeline.languages)
+    (Sizes.binary_size_mb report.Pipeline.merged_module);
+  List.iter
+    (fun (callee, sites) -> Printf.printf "  merged %-24s (%d call sites rewritten)\n" callee sites)
+    report.Pipeline.rounds;
+  if dump_ir then print_string (Quilt_ir.Pp.to_string report.Pipeline.merged_module)
+
+let bench_cmd async rate duration name =
+  let wf = find_workflow ~async name in
+  let t =
+    match Quilt.optimize Config.default ~workflows:[ wf ] wf with
+    | Ok t -> t
+    | Error e ->
+        Printf.eprintf "optimize failed: %s\n" e;
+        exit 1
+  in
+  let measure engine =
+    Loadgen.run_open_loop engine ~entry:wf.Workflow.entry ~gen_req:wf.Workflow.gen_req ~rate_rps:rate
+      ~duration_us:(duration *. 1e6)
+      ~warmup_us:(Float.min (duration *. 1e6 /. 4.0) 10_000_000.0)
+      ()
+  in
+  let b_engine = Quilt.fresh_platform ~workflows:[ wf ] () in
+  let b = measure b_engine in
+  let q_engine = Quilt.fresh_platform ~workflows:[ wf ] () in
+  Quilt.apply q_engine t;
+  let q = measure q_engine in
+  Printf.printf "workflow %s at %.0f rps for %.0f s:\n" name rate duration;
+  Printf.printf "  baseline: median %8.2f ms   p99 %8.2f ms   throughput %7.0f rps\n"
+    (Loadgen.median_ms b) (Loadgen.p99_ms b) b.Loadgen.throughput_rps;
+  Printf.printf "  quilt   : median %8.2f ms   p99 %8.2f ms   throughput %7.0f rps\n"
+    (Loadgen.median_ms q) (Loadgen.p99_ms q) q.Loadgen.throughput_rps
+
+(* --- cmdliner wiring --- *)
+
+open Cmdliner
+
+let async_flag =
+  Arg.(value & flag & info [ "async" ] ~doc:"Use the asynchronous-invocation variant of the workflow.")
+
+let workflow_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKFLOW")
+
+let list_t = Cmd.v (Cmd.info "list" ~doc:"List the bundled workflows") Term.(const list_cmd $ const ())
+
+let inspect_t =
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.") in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Profile a workflow and print its call graph (§3)")
+    Term.(const inspect_cmd $ async_flag $ dot $ workflow_arg)
+
+let decide_t =
+  Cmd.v
+    (Cmd.info "decide" ~doc:"Profile and run the constraint-aware merging decision (§4)")
+    Term.(const decide_cmd $ async_flag $ workflow_arg)
+
+let merge_t =
+  let dump = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the merged QIR module.") in
+  Cmd.v
+    (Cmd.info "merge" ~doc:"Run the Figure-5 merge pipeline over a whole workflow (§5)")
+    Term.(const merge_cmd $ async_flag $ dump $ workflow_arg)
+
+let bench_t =
+  let rate = Arg.(value & opt float 50.0 & info [ "rate" ] ~docv:"RPS" ~doc:"Offered load.") in
+  let duration =
+    Arg.(value & opt float 20.0 & info [ "duration" ] ~docv:"SECONDS" ~doc:"Measured window (simulated).")
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Compare baseline and Quilt deployments under load")
+    Term.(const bench_cmd $ async_flag $ rate $ duration $ workflow_arg)
+
+let () =
+  let doc = "Quilt: resource-aware merging of serverless workflows (SOSP 2025), reproduced in OCaml" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "quilt" ~doc) [ list_t; inspect_t; decide_t; merge_t; bench_t ]))

@@ -1,0 +1,1 @@
+examples/billing.ml: Hashtbl List Printf Quilt_apps Quilt_ir Quilt_lang Quilt_merge

@@ -1,0 +1,1 @@
+examples/cross_language.ml: List Option Printf Quilt_apps Quilt_ir Quilt_lang Quilt_merge String

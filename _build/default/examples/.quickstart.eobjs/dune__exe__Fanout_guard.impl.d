@@ -1,0 +1,1 @@
+examples/fanout_guard.ml: List Option Printf Quilt_apps Quilt_core Quilt_platform

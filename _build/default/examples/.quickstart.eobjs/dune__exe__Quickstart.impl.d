@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Quilt_ir Quilt_lang Quilt_merge String

@@ -1,0 +1,1 @@
+examples/social_network.ml: Format List Printf Quilt_apps Quilt_core Quilt_dag Quilt_platform

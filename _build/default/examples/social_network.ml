@@ -1,0 +1,64 @@
+(* The full Quilt loop on DeathStarBench's Social Network (§7.2):
+
+   $ dune exec examples/social_network.exe
+
+   1. deploy the 11-function compose-post workflow on the simulated
+      platform (baseline, one container per function);
+   2. turn on the profiler token and run background load (§3);
+   3. build the call graph from the collected traces, decide what to merge
+      under the provider's constraints (§4), and merge with the real
+      compilation pipeline (§5);
+   4. swap the deployment (§5.5) and compare latency before/after. *)
+
+module Engine = Quilt_platform.Engine
+module Loadgen = Quilt_platform.Loadgen
+module Callgraph = Quilt_dag.Callgraph
+module Deathstar = Quilt_apps.Deathstar
+module Workflow = Quilt_apps.Workflow
+module Config = Quilt_core.Config
+module Quilt = Quilt_core.Quilt
+
+let () =
+  let cfg = Config.default in
+  let wfs = Deathstar.social_network ~async:false () in
+  let compose = List.find (fun w -> w.Workflow.wf_name = "compose-post") wfs in
+
+  (* Profile: §3's transparent distributed tracing. *)
+  Printf.printf "profiling compose-post (%d functions) ...\n%!"
+    (List.length compose.Workflow.functions);
+  let graph =
+    match Quilt.profile cfg ~workflows:[ compose ] compose with
+    | Ok g -> g
+    | Error e -> failwith e
+  in
+  Format.printf "%a@." Callgraph.pp graph;
+
+  (* Decide + merge. *)
+  let t =
+    match Quilt.optimize ~graph cfg ~workflows:[ compose ] compose with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  print_string (Quilt.describe t);
+
+  (* Measure before/after with a 1-connection low-load client (Figure 6's
+     methodology). *)
+  let measure engine =
+    let r =
+      Loadgen.run_open_loop engine ~entry:compose.Workflow.entry ~gen_req:compose.Workflow.gen_req
+        ~rate_rps:2.0 ~duration_us:30_000_000.0 ~warmup_us:8_000_000.0 ()
+    in
+    (Loadgen.median_ms r, Loadgen.p99_ms r)
+  in
+  let baseline_engine = Quilt.fresh_platform ~workflows:[ compose ] () in
+  let bm, bp = measure baseline_engine in
+  let quilt_engine = Quilt.fresh_platform ~workflows:[ compose ] () in
+  Quilt.apply quilt_engine t;
+  let qm, qp = measure quilt_engine in
+  Printf.printf "\nbaseline: median %.2f ms   p99 %.2f ms\n" bm bp;
+  Printf.printf "quilt   : median %.2f ms   p99 %.2f ms\n" qm qp;
+  Printf.printf "median improvement: %.1f%% (paper reports 45.63%%-70.95%% across workflows)\n"
+    (100.0 *. (bm -. qm) /. bm);
+  let c = Engine.counters quilt_engine in
+  Printf.printf "remote invocations after merging: %d; in-process calls: %d\n"
+    c.Engine.remote_invocations c.Engine.local_invocations

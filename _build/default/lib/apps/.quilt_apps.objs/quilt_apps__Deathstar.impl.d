@@ -1,0 +1,1 @@
+lib/apps/deathstar.ml: Printf Quilt_lang Quilt_util Workflow

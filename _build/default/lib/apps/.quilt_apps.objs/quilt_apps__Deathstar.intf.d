@@ -1,0 +1,1 @@
+lib/apps/deathstar.mli: Workflow

@@ -1,0 +1,1 @@
+lib/apps/special.ml: Printf Quilt_dag Quilt_lang Quilt_util Workflow

@@ -1,0 +1,1 @@
+lib/apps/special.mli: Workflow

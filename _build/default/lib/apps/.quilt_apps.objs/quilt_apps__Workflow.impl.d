@@ -1,0 +1,1 @@
+lib/apps/workflow.ml: List Printf Quilt_dag Quilt_lang Quilt_util

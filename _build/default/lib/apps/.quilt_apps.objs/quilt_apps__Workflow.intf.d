@@ -1,0 +1,1 @@
+lib/apps/workflow.mli: Quilt_dag Quilt_lang Quilt_platform Quilt_util

@@ -1,0 +1,21 @@
+(** Special-purpose workloads of the evaluation.
+
+    - {!modified_nearby_cinema}: Experiment 3's CPU-heavy 9-function
+      workflow: six get-nearby-points clones each filtering 300K points,
+      two aggregators combining three each, and the original entry.
+    - {!noop}: the empty function of Experiment 4 (profiling cost).
+    - {!fan_out}: §5.6 / Figure 10's data-dependent fan-out whose callee is
+      memory-intensive; the request's ["num"] field selects the fan-out.
+    - {!cross_language}: a five-language workflow for the cross-language
+      merging demonstrations. *)
+
+val modified_nearby_cinema : ?lang:string -> unit -> Workflow.t
+
+val noop : ?lang:string -> unit -> Workflow.t
+
+val fan_out : ?lang:string -> callee_mem_mb:int -> unit -> Workflow.t
+(** Request format [{"num": k}]: the entry invokes [fan-out-worker]
+    asynchronously [k] times; each worker instance holds [callee_mem_mb]. *)
+
+val cross_language : unit -> Workflow.t
+(** A chain c → cpp → rust → go → swift. *)

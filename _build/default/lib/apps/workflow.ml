@@ -1,0 +1,99 @@
+module Ast = Quilt_lang.Ast
+module Callgraph = Quilt_dag.Callgraph
+module Rng = Quilt_util.Rng
+
+type t = {
+  wf_name : string;
+  entry : string;
+  functions : Ast.fn list;
+  gen_req : Rng.t -> string;
+  code_edges : (string * string * Callgraph.call_kind) list;
+}
+
+let lookup wf name = List.find (fun f -> f.Ast.fn_name = name) wf.functions
+
+let registry wfs name =
+  let rec search = function
+    | [] -> raise Not_found
+    | wf :: rest -> (
+        match List.find_opt (fun f -> f.Ast.fn_name = name) wf.functions with
+        | Some f -> f
+        | None -> search rest)
+  in
+  search wfs
+
+let fn_names wf = List.map (fun f -> f.Ast.fn_name) wf.functions
+
+type profile = { compute_us : int; db_us : int; mem_mb : int }
+
+(* Work prefix: memory touch, compute burn, database sleep (all optional). *)
+let work_prefix (p : profile) rest =
+  let add cond wrap body = if cond then Ast.Seq (wrap, body) else body in
+  add (p.mem_mb > 0) (Ast.Use_mem (Ast.Int_lit p.mem_mb))
+    (add (p.compute_us > 0) (Ast.Burn (Ast.Int_lit p.compute_us))
+       (add (p.db_us > 0) (Ast.Sleep_io (Ast.Int_lit p.db_us)) rest))
+
+let data_of v = Ast.Json_get_str (v, "data")
+
+let child_req = Ast.Json_set_str (Ast.Json_empty, "data", data_of (Ast.Var "req"))
+
+let respond value = Ast.Json_set_str (Ast.Json_empty, "data", value)
+
+let std_fn ~name ~lang ~profile ?(children = []) ?(parallel = false) ?(repeat = []) () =
+  (* Expand repeats into an explicit call list. *)
+  let call_list =
+    List.concat_map
+      (fun c ->
+        let extra = match List.assoc_opt c repeat with Some n -> n | None -> 0 in
+        List.init (1 + extra) (fun _ -> c))
+      children
+  in
+  let tag = Ast.Concat (Ast.Str_lit (name ^ "("), Ast.Concat (data_of (Ast.Var "req"), Ast.Str_lit ")")) in
+  let body =
+    match call_list with
+    | [] -> respond tag
+    | calls when not parallel ->
+        (* Sequential: r1 = invoke c1; ...; respond tag + r1.data + ... *)
+        let rec build i acc = function
+          | [] -> respond acc
+          | c :: rest ->
+              let var = Printf.sprintf "r%d" i in
+              Ast.Let
+                ( var,
+                  Ast.Invoke (c, child_req),
+                  build (i + 1) (Ast.Concat (acc, data_of (Ast.Var var))) rest )
+        in
+        build 0 tag calls
+    | calls ->
+        (* Parallel: spawn all, then join all in order. *)
+        let rec spawn i = function
+          | [] ->
+              let rec join i acc = function
+                | [] -> respond acc
+                | _ :: rest ->
+                    let rvar = Printf.sprintf "r%d" i in
+                    Ast.Let
+                      ( rvar,
+                        Ast.Wait (Ast.Var (Printf.sprintf "f%d" i)),
+                        join (i + 1) (Ast.Concat (acc, data_of (Ast.Var rvar))) rest )
+              in
+              join 0 tag calls
+          | c :: rest ->
+              Ast.Let (Printf.sprintf "f%d" i, Ast.Invoke_async (c, child_req), spawn (i + 1) rest)
+        in
+        spawn 0 calls
+  in
+  { Ast.fn_name = name; fn_lang = lang; mergeable = true; body = work_prefix profile body }
+
+let edges_of fns =
+  let out = ref [] in
+  List.iter
+    (fun (f : Ast.fn) ->
+      List.iter
+        (fun (callee, kind) ->
+          let kind = match kind with `Sync -> Callgraph.Sync | `Async -> Callgraph.Async in
+          let entry = (f.Ast.fn_name, callee, kind) in
+          if not (List.mem entry !out) then out := entry :: !out)
+        (Ast.invocations f.Ast.body))
+    fns;
+  List.rev !out

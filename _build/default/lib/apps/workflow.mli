@@ -1,0 +1,46 @@
+(** Workflow descriptions shared by all benchmark applications. *)
+
+type t = {
+  wf_name : string;  (** e.g. ["compose-post"]. *)
+  entry : string;  (** Entry function (= workflow handle). *)
+  functions : Quilt_lang.Ast.fn list;  (** Every function, entry first. *)
+  gen_req : Quilt_util.Rng.t -> string;  (** Client request generator. *)
+  code_edges : (string * string * Quilt_dag.Callgraph.call_kind) list;
+      (** Static call sites — the union of what profiling can observe. *)
+}
+
+val lookup : t -> string -> Quilt_lang.Ast.fn
+(** Raises [Not_found]. *)
+
+val registry : t list -> Quilt_platform.Calltree.registry
+(** Combined resolver over several workflows (duplicate names must agree,
+    e.g. a shared function reused by two workflows). *)
+
+val fn_names : t -> string list
+
+(** {1 Body construction helpers} *)
+
+type profile = {
+  compute_us : int;  (** CPU per invocation. *)
+  db_us : int;  (** Hardcoded-database sleep (§7.3.2's substitution). *)
+  mem_mb : int;  (** Peak workspace. *)
+}
+
+val std_fn :
+  name:string ->
+  lang:string ->
+  profile:profile ->
+  ?children:string list ->
+  ?parallel:bool ->
+  ?repeat:(string * int) list ->
+  unit ->
+  Quilt_lang.Ast.fn
+(** A service function: touches [mem_mb], burns [compute_us], sleeps
+    [db_us], then invokes each child once — plus [repeat] extra times for
+    listed children — passing through the request's ["data"] field, and
+    responds with its tag concatenated with all child data.  [parallel]
+    invokes the children asynchronously and joins after issuing all of
+    them. *)
+
+val edges_of : Quilt_lang.Ast.fn list -> (string * string * Quilt_dag.Callgraph.call_kind) list
+(** Static edges derived from the bodies (deduplicated). *)

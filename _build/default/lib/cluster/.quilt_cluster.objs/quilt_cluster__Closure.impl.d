@@ -1,0 +1,1 @@
+lib/cluster/closure.ml: Array Hashtbl List Quilt_dag Types

@@ -1,0 +1,1 @@
+lib/cluster/closure.mli: Quilt_dag Types

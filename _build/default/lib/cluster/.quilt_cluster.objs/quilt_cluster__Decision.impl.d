@@ -1,0 +1,1 @@
+lib/cluster/decision.ml: Dih Grasp Heur Metrics Optimal Printf Quilt_dag Quilt_util Types

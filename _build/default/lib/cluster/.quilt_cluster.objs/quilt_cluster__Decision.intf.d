@@ -1,0 +1,1 @@
+lib/cluster/decision.mli: Quilt_dag Types

@@ -1,0 +1,1 @@
+lib/cluster/dih.ml: Array Closure List Quilt_dag Sweep Types

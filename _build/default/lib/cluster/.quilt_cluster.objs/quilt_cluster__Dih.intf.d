@@ -1,0 +1,1 @@
+lib/cluster/dih.mli: Quilt_dag Types

@@ -1,0 +1,1 @@
+lib/cluster/encode.ml: Array Closure Float Hashtbl List Quilt_dag Quilt_ilp Types

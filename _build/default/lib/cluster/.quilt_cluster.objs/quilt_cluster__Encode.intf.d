@@ -1,0 +1,1 @@
+lib/cluster/encode.mli: Quilt_dag Quilt_ilp Types

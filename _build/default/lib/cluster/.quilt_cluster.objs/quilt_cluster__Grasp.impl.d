@@ -1,0 +1,1 @@
+lib/cluster/grasp.ml: Array Closure Dih List Option Quilt_dag Quilt_util Types

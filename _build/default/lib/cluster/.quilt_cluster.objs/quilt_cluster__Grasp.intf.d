@@ -1,0 +1,1 @@
+lib/cluster/grasp.mli: Dih Quilt_dag Quilt_util Types

@@ -1,0 +1,1 @@
+lib/cluster/heur.ml: Array Closure List Queue Quilt_dag Types

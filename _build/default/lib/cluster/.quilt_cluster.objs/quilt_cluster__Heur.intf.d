@@ -1,0 +1,1 @@
+lib/cluster/heur.mli: Quilt_dag Types

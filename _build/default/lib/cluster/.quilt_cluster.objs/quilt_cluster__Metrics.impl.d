@@ -1,0 +1,1 @@
+lib/cluster/metrics.ml: Array Closure List Printf Quilt_dag Types

@@ -1,0 +1,1 @@
+lib/cluster/metrics.mli: Quilt_dag Types

@@ -1,0 +1,1 @@
+lib/cluster/optimal.ml: Closure List Quilt_dag Sweep Types

@@ -1,0 +1,1 @@
+lib/cluster/optimal.mli: Quilt_dag Types

@@ -1,0 +1,1 @@
+lib/cluster/sweep.ml: Closure List Quilt_dag Types

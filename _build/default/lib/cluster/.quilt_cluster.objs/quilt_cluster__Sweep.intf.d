@@ -1,0 +1,1 @@
+lib/cluster/sweep.mli: Quilt_dag Types

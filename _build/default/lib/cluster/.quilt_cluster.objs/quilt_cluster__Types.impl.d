@@ -1,0 +1,1 @@
+lib/cluster/types.ml: Array Callgraph Format List Quilt_dag String

@@ -1,0 +1,1 @@
+lib/cluster/types.mli: Format Quilt_dag

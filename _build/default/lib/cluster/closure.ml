@@ -1,0 +1,310 @@
+module Callgraph = Quilt_dag.Callgraph
+
+let nr_closure (g : Callgraph.t) ~is_root start =
+  let n = Callgraph.n_nodes g in
+  let members = Array.make n false in
+  let rec visit v =
+    if not members.(v) then begin
+      members.(v) <- true;
+      List.iter
+        (fun e -> if not is_root.(e.Callgraph.dst) then visit e.Callgraph.dst)
+        (Callgraph.succs g v)
+    end
+  in
+  visit start;
+  members
+
+let resources (g : Callgraph.t) ~members ~root =
+  let open Callgraph in
+  let rn = node g root in
+  let cpu = ref rn.cpu and mem = ref rn.mem_mb in
+  List.iter
+    (fun e ->
+      if members.(e.src) && members.(e.dst) then begin
+        let a = float_of_int (alpha g e) in
+        let callee = node g e.dst in
+        cpu := !cpu +. (a *. callee.cpu);
+        mem := !mem +. callee.mem_mb;
+        match e.kind with
+        | Async -> mem := !mem +. ((a -. 1.0) *. callee.mem_mb)
+        | Sync -> ()
+      end)
+    g.edges;
+  (!cpu, !mem)
+
+let feasible (lim : Types.limits) (cpu, mem) = cpu <= lim.max_cpu +. 1e-9 && mem <= lim.max_mem_mb +. 1e-9
+
+(* Connectivity per ILP constraint 3: every member except the subgraph root
+   has an in-edge from another member.  In a DAG this is equivalent to every
+   member being reachable from the root within the member set. *)
+let connected (g : Callgraph.t) ~members ~root =
+  let ok = ref true in
+  Array.iteri
+    (fun j in_members ->
+      if in_members && j <> root then begin
+        let has_pred =
+          List.exists (fun e -> members.(e.Callgraph.src)) (Callgraph.preds g j)
+        in
+        if not has_pred then ok := false
+      end)
+    members;
+  !ok
+
+(* Non-mergeable functions (§1.1's opt-in bit) are forced to be singleton
+   groups: they and every one of their callees become roots, they absorb
+   nothing, and nothing absorbs them. *)
+let forced_roots (g : Callgraph.t) =
+  let out = ref [] in
+  Array.iter
+    (fun (nd : Callgraph.node) ->
+      if not nd.Callgraph.mergeable then begin
+        out := nd.Callgraph.id :: !out;
+        List.iter (fun (e : Callgraph.edge) -> out := e.Callgraph.dst :: !out) (Callgraph.succs g nd.Callgraph.id)
+      end)
+    g.Callgraph.nodes;
+  List.sort_uniq compare !out
+
+let normalize_roots (g : Callgraph.t) roots =
+  let seen = Hashtbl.create 8 in
+  let uniq =
+    List.filter
+      (fun r ->
+        if Hashtbl.mem seen r then false
+        else begin
+          Hashtbl.add seen r ();
+          true
+        end)
+      (roots @ forced_roots g)
+  in
+  let uniq = if List.mem g.Callgraph.root uniq then uniq else g.Callgraph.root :: uniq in
+  (* Global root first. *)
+  g.Callgraph.root :: List.filter (fun r -> r <> g.Callgraph.root) uniq
+
+let root_set_feasible (g : Callgraph.t) (lim : Types.limits) ~roots =
+  let roots = normalize_roots g roots in
+  let n = Callgraph.n_nodes g in
+  let is_root = Array.make n false in
+  List.iter (fun r -> is_root.(r) <- true) roots;
+  List.for_all
+    (fun r ->
+      let members = nr_closure g ~is_root r in
+      feasible lim (resources g ~members ~root:r))
+    roots
+
+(* Union of closures for an absorb set. *)
+let members_of_absorb closures n absorb =
+  let m = Array.make n false in
+  List.iter (fun s -> Array.iteri (fun j b -> if b then m.(j) <- true) closures.(s)) absorb;
+  m
+
+let build_solution (g : Callgraph.t) roots choices =
+  (* choices: (root, absorb list, members) list *)
+  let cost = ref 0 in
+  List.iter
+    (fun (e : Callgraph.edge) ->
+      let cut =
+        List.exists
+          (fun (_, absorb, members) -> members.(e.src) && not (List.mem e.dst absorb || members.(e.dst)))
+          choices
+      in
+      if cut then cost := !cost + e.weight)
+    g.Callgraph.edges;
+  let subgraphs =
+    List.map
+      (fun (r, absorb, members) ->
+        let cpu, mem = resources g ~members ~root:r in
+        { Types.root = r; absorbed = absorb; members; cpu; mem_mb = mem })
+      choices
+  in
+  { Types.roots; subgraphs; cost = !cost }
+
+(* --- Exact search --- *)
+
+type choice = {
+  absorb : int list;  (* absorbed roots, including the subgraph's own root *)
+  members : bool array;
+  cut_mask : int;  (* bitmask over root-targeted edges this choice cuts *)
+}
+
+let solve_exact (g : Callgraph.t) (lim : Types.limits) ~roots =
+  let roots = normalize_roots g roots in
+  let k = List.length roots in
+  if k > 16 then invalid_arg "Closure.solve_exact: too many roots (use solve_greedy)";
+  let n = Callgraph.n_nodes g in
+  let is_root = Array.make n false in
+  List.iter (fun r -> is_root.(r) <- true) roots;
+  (* Edges whose target is a root are the only cuttable edges. *)
+  let root_edges =
+    List.filter (fun (e : Callgraph.edge) -> is_root.(e.Callgraph.dst)) g.Callgraph.edges
+  in
+  let n_redges = List.length root_edges in
+  if n_redges > 62 then invalid_arg "Closure.solve_exact: too many root-targeted edges";
+  let redge_arr = Array.of_list root_edges in
+  let closures = Array.make n [||] in
+  List.iter (fun r -> closures.(r) <- nr_closure g ~is_root r) roots;
+  let root_arr = Array.of_list roots in
+  (* Enumerate feasible absorb sets per root. *)
+  let feasible_choices r =
+    let pinned = not (Callgraph.node g r).Callgraph.mergeable in
+    let others =
+      if pinned then []
+      else
+        List.filter (fun s -> s <> r && (Callgraph.node g s).Callgraph.mergeable) roots
+    in
+    let others = Array.of_list others in
+    let n_others = Array.length others in
+    let out = ref [] in
+    for mask = 0 to (1 lsl n_others) - 1 do
+      let absorb = ref [ r ] in
+      for b = 0 to n_others - 1 do
+        if mask land (1 lsl b) <> 0 then absorb := others.(b) :: !absorb
+      done;
+      let absorb = !absorb in
+      let members = members_of_absorb closures n absorb in
+      if connected g ~members ~root:r && feasible lim (resources g ~members ~root:r) then begin
+        (* Which root-targeted edges does this subgraph cut?  Edge (i,j) is
+           cut by G_r when i is a member but j is not absorbed. *)
+        let cut = ref 0 in
+        Array.iteri
+          (fun idx (e : Callgraph.edge) ->
+            if members.(e.src) && not members.(e.dst) then cut := !cut lor (1 lsl idx))
+          redge_arr;
+        out := { absorb; members; cut_mask = !cut } :: !out
+      end
+    done;
+    !out
+  in
+  let all_choices = Array.map feasible_choices root_arr in
+  if Array.exists (fun l -> l = []) all_choices then None
+  else begin
+    let weight_of_mask mask =
+      let acc = ref 0 in
+      Array.iteri (fun idx e -> if mask land (1 lsl idx) <> 0 then acc := !acc + e.Callgraph.weight) redge_arr;
+      !acc
+    in
+    (* Order each root's choices by the weight they cut on their own, so the
+       branch-and-bound finds good incumbents early. *)
+    let sorted_choices =
+      Array.map
+        (fun l ->
+          List.sort (fun a b -> compare (weight_of_mask a.cut_mask) (weight_of_mask b.cut_mask)) l
+          |> Array.of_list)
+        all_choices
+    in
+    let best_cost = ref max_int in
+    let best_pick = Array.make k None in
+    let current = Array.make k None in
+    let rec search idx acc_mask =
+      let acc_weight = weight_of_mask acc_mask in
+      if acc_weight < !best_cost then begin
+        if idx = k then begin
+          best_cost := acc_weight;
+          Array.blit current 0 best_pick 0 k
+        end
+        else
+          Array.iter
+            (fun c ->
+              current.(idx) <- Some c;
+              search (idx + 1) (acc_mask lor c.cut_mask))
+            sorted_choices.(idx)
+      end
+    in
+    search 0 0;
+    if !best_cost = max_int then None
+    else begin
+      let choices =
+        List.mapi
+          (fun i r ->
+            match best_pick.(i) with
+            | Some c -> (r, c.absorb, c.members)
+            | None -> assert false)
+          roots
+      in
+      Some (build_solution g roots choices)
+    end
+  end
+
+(* --- Greedy search for large instances --- *)
+
+let solve_greedy (g : Callgraph.t) (lim : Types.limits) ~roots =
+  let roots = normalize_roots g roots in
+  let n = Callgraph.n_nodes g in
+  let is_root = Array.make n false in
+  List.iter (fun r -> is_root.(r) <- true) roots;
+  let closures = Array.make n [||] in
+  List.iter (fun r -> closures.(r) <- nr_closure g ~is_root r) roots;
+  (* Start from minimal absorb sets; bail if even those are infeasible. *)
+  let absorb = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace absorb r [ r ]) roots;
+  let members_for r = members_of_absorb closures n (Hashtbl.find absorb r) in
+  let all_feasible () =
+    List.for_all
+      (fun r ->
+        let members = members_for r in
+        connected g ~members ~root:r && feasible lim (resources g ~members ~root:r))
+      roots
+  in
+  if not (all_feasible ()) then None
+  else begin
+    let current_cost () =
+      let choices = List.map (fun r -> (r, Hashtbl.find absorb r, members_for r)) roots in
+      (build_solution g roots choices).Types.cost
+    in
+    let cost = ref (current_cost ()) in
+    let improved = ref true in
+    while !improved do
+      improved := false;
+      let best_move = ref None in
+      List.iter
+        (fun r ->
+          let current = Hashtbl.find absorb r in
+          let members = members_for r in
+          List.iter
+            (fun j ->
+              if
+                j <> r
+                && (not (List.mem j current))
+                && (Callgraph.node g r).Callgraph.mergeable
+                && (Callgraph.node g j).Callgraph.mergeable
+              then begin
+                (* Only consider absorbing j when some member calls j. *)
+                let has_edge =
+                  List.exists
+                    (fun (e : Callgraph.edge) -> e.Callgraph.dst = j && members.(e.Callgraph.src))
+                    g.Callgraph.edges
+                in
+                if has_edge then begin
+                  Hashtbl.replace absorb r (j :: current);
+                  let m' = members_for r in
+                  let ok = connected g ~members:m' ~root:r && feasible lim (resources g ~members:m' ~root:r) in
+                  if ok then begin
+                    let c' = current_cost () in
+                    match !best_move with
+                    | Some (_, _, best_c) when c' >= best_c -> ()
+                    | _ -> if c' < !cost then best_move := Some (r, j, c')
+                  end;
+                  Hashtbl.replace absorb r current
+                end
+              end)
+            roots)
+        roots;
+      match !best_move with
+      | Some (r, j, c') ->
+          Hashtbl.replace absorb r (j :: Hashtbl.find absorb r);
+          cost := c';
+          improved := true
+      | None -> ()
+    done;
+    let choices = List.map (fun r -> (r, Hashtbl.find absorb r, members_for r)) roots in
+    Some (build_solution g roots choices)
+  end
+
+let solve g lim ~roots =
+  let roots' = normalize_roots g roots in
+  let k = List.length roots' in
+  let n_redges =
+    let is_root = Array.make (Callgraph.n_nodes g) false in
+    List.iter (fun r -> is_root.(r) <- true) roots';
+    List.length (List.filter (fun (e : Callgraph.edge) -> is_root.(e.Callgraph.dst)) g.Callgraph.edges)
+  in
+  if k <= 14 && n_redges <= 62 then solve_exact g lim ~roots else solve_greedy g lim ~roots

@@ -1,0 +1,55 @@
+(** Phase 2 of the decision algorithm: subgraph construction for a fixed
+    root set (§4.2, Appendix B), solved by exploiting problem structure.
+
+    For a fixed root set R, ILP constraints 3 (connectivity) and 5
+    (cross-edge root rule) force the membership of each subgraph G_r to be
+    the "non-root closure" of the set of roots it absorbs: starting from any
+    included vertex, every callee that is not a root must also be included.
+    Hence the only free decisions are, for each root r, which *other roots*
+    G_r absorbs — a set S_r ⊆ R with r ∈ S_r.  This module enumerates absorb
+    sets with monotone resource pruning and runs a branch-and-bound over the
+    joint choice; the result is provably the ILP optimum (cross-checked
+    against the generic solver in the test suite).
+
+    Edges whose target is not a root can never be cut; edges into a root j
+    are internal only if {e every} subgraph containing the source also
+    absorbs j. *)
+
+val nr_closure : Quilt_dag.Callgraph.t -> is_root:bool array -> int -> bool array
+(** [nr_closure g ~is_root r] is the least vertex set containing [r] that is
+    closed under following edges to non-root targets.  [r] itself is included
+    whether or not it is a root. *)
+
+val resources :
+  Quilt_dag.Callgraph.t -> members:bool array -> root:int -> float * float
+(** [(cpu, mem)] demand of a subgraph with the given member set, per the
+    accounting of Appendix B constraints 6–7: [cpu = c_root + Σ_internal
+    α·c_j]; [mem = m_root + Σ_internal m_j + Σ_internal-async (α−1)·m_j]. *)
+
+val forced_roots : Quilt_dag.Callgraph.t -> int list
+(** Roots every solution must contain because of the opt-in bit: each
+    non-mergeable vertex and all of its direct callees (so the pinned
+    vertex's group is exactly itself). *)
+
+val root_set_feasible :
+  Quilt_dag.Callgraph.t -> Types.limits -> roots:int list -> bool
+(** A root set is feasible iff every root's minimal subgraph (absorb set
+    {r}) satisfies the limits; larger absorb sets only add demand. *)
+
+val solve_exact :
+  Quilt_dag.Callgraph.t -> Types.limits -> roots:int list -> Types.solution option
+(** Optimal subgraph construction for the given roots, or [None] when
+    infeasible.  The root list must contain the graph root; duplicates are
+    ignored.  Raises [Invalid_argument] when the instance is too large for
+    the exact search (more than 62 root-targeted edges or more than 16
+    roots) — use {!solve_greedy} there. *)
+
+val solve_greedy :
+  Quilt_dag.Callgraph.t -> Types.limits -> roots:int list -> Types.solution option
+(** Hill-climbing joint assignment for large instances: start every subgraph
+    at its minimal membership and repeatedly apply the absorb move that
+    reduces the joint cost the most while remaining feasible. *)
+
+val solve : Quilt_dag.Callgraph.t -> Types.limits -> roots:int list -> Types.solution option
+(** {!solve_exact} when the instance is small enough, otherwise
+    {!solve_greedy}. *)

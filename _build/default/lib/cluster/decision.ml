@@ -1,0 +1,33 @@
+module Callgraph = Quilt_dag.Callgraph
+module Rng = Quilt_util.Rng
+
+type algorithm = Optimal | Dih | Weighted_degree | Grasp
+
+let algorithm_name = function
+  | Optimal -> "optimal"
+  | Dih -> "downstream-impact"
+  | Weighted_degree -> "weighted-degree"
+  | Grasp -> "grasp"
+
+let validated g lim sol =
+  match sol with
+  | None -> None
+  | Some s -> (
+      match Metrics.solution_valid g lim s with
+      | Ok () -> Some s
+      | Error msg -> failwith (Printf.sprintf "Decision.solve: invalid solution produced: %s" msg))
+
+let solve ?(seed = 1) algorithm (g : Callgraph.t) (lim : Types.limits) =
+  let sol =
+    match algorithm with
+    | Optimal -> Optimal.solve g lim
+    | Dih -> Dih.solve g lim
+    | Weighted_degree -> Heur.solve_weighted_degree g lim
+    | Grasp -> Grasp.solve (Rng.create seed) g lim
+  in
+  validated g lim sol
+
+let auto ?seed (g : Callgraph.t) (lim : Types.limits) =
+  let n = Callgraph.n_nodes g in
+  let algorithm = if n <= 12 then Optimal else if n <= 60 then Dih else Grasp in
+  solve ?seed algorithm g lim

@@ -1,0 +1,25 @@
+(** Front door for the merge-decision phase (§4): pick an algorithm, get a
+    validated grouping. *)
+
+type algorithm =
+  | Optimal  (** Exhaustive k-sweep (§4.2); small graphs only. *)
+  | Dih  (** Downstream-Impact candidate pool + sweep (§4.3, App. C). *)
+  | Weighted_degree  (** The simple baseline heuristic of Experiment 5. *)
+  | Grasp  (** Large-graph GRASP + refinement (App. C.4). *)
+
+val algorithm_name : algorithm -> string
+
+val solve :
+  ?seed:int ->
+  algorithm ->
+  Quilt_dag.Callgraph.t ->
+  Types.limits ->
+  Types.solution option
+(** Runs the chosen algorithm.  [seed] (default 1) feeds GRASP's randomized
+    stage.  Every returned solution has passed {!Metrics.solution_valid};
+    a solver bug therefore surfaces as an exception here rather than as a
+    corrupt deployment downstream. *)
+
+val auto : ?seed:int -> Quilt_dag.Callgraph.t -> Types.limits -> Types.solution option
+(** What the Quilt optimizer itself uses: [Optimal] for graphs of ≤ 12
+    vertices, [Dih] up to 60, [Grasp] beyond. *)

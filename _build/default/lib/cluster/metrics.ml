@@ -1,0 +1,99 @@
+module Callgraph = Quilt_dag.Callgraph
+
+let baseline_cost (g : Callgraph.t) =
+  List.fold_left (fun acc e -> acc + e.Callgraph.weight) 0 g.Callgraph.edges
+
+let optimality_gap ~cost_h ~cost_o ~cost_b =
+  let denom = cost_b - cost_o in
+  if denom <= 0 then 0.0 else float_of_int (cost_h - cost_o) /. float_of_int denom
+
+let solution_valid (g : Callgraph.t) (lim : Types.limits) (sol : Types.solution) =
+  let n = Callgraph.n_nodes g in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let roots = sol.Types.roots in
+  let is_root = Array.make n false in
+  let result = ref (Ok ()) in
+  let check c msg = if !result = Ok () && not c then result := fail "%s" msg in
+  check (List.mem g.Callgraph.root roots) "graph root missing from root set";
+  check (List.length (List.sort_uniq compare roots) = List.length roots) "duplicate roots";
+  List.iter (fun r -> if r >= 0 && r < n then is_root.(r) <- true) roots;
+  check (List.length sol.Types.subgraphs = List.length roots) "one subgraph per root required";
+  (* Coverage. *)
+  let covered = Array.make n false in
+  List.iter
+    (fun sg -> Array.iteri (fun i b -> if b then covered.(i) <- true) sg.Types.members)
+    sol.Types.subgraphs;
+  check (Array.for_all (fun b -> b) covered) "some vertex is not covered by any subgraph";
+  (* Per-subgraph checks. *)
+  List.iter
+    (fun sg ->
+      let r = sg.Types.root in
+      let members = sg.Types.members in
+      if !result = Ok () then begin
+        check members.(r) "subgraph does not contain its own root";
+        (* Connectivity: every member reachable from r within members. *)
+        let seen = Array.make n false in
+        let rec visit v =
+          if members.(v) && not seen.(v) then begin
+            seen.(v) <- true;
+            List.iter (fun e -> visit e.Callgraph.dst) (Callgraph.succs g v)
+          end
+        in
+        visit r;
+        Array.iteri
+          (fun i b ->
+            if b && not seen.(i) then
+              check false
+                (Printf.sprintf "member %s of subgraph %s unreachable from its root"
+                   (Callgraph.node g i).Callgraph.name (Callgraph.node g r).Callgraph.name))
+          members;
+        (* Closure: internal sources imply non-root targets are members. *)
+        List.iter
+          (fun e ->
+            if members.(e.Callgraph.src) && (not is_root.(e.Callgraph.dst)) && not members.(e.Callgraph.dst)
+            then
+              check false
+                (Printf.sprintf "edge to non-root %s escapes subgraph %s"
+                   (Callgraph.node g e.Callgraph.dst).Callgraph.name
+                   (Callgraph.node g r).Callgraph.name))
+          g.Callgraph.edges;
+        (* Resources. *)
+        let cpu, mem = Closure.resources g ~members ~root:r in
+        check (cpu <= lim.Types.max_cpu +. 1e-6)
+          (Printf.sprintf "subgraph %s exceeds CPU limit (%.2f > %.2f)"
+             (Callgraph.node g r).Callgraph.name cpu lim.Types.max_cpu);
+        check (mem <= lim.Types.max_mem_mb +. 1e-6)
+          (Printf.sprintf "subgraph %s exceeds memory limit (%.2f > %.2f)"
+             (Callgraph.node g r).Callgraph.name mem lim.Types.max_mem_mb)
+      end)
+    sol.Types.subgraphs;
+  (* Opt-in bit: non-mergeable functions must be singleton groups. *)
+  List.iter
+    (fun sg ->
+      Array.iteri
+        (fun i in_sg ->
+          if in_sg && not (Callgraph.node g i).Callgraph.mergeable then begin
+            let size = Array.fold_left (fun a b -> if b then a + 1 else a) 0 sg.Types.members in
+            if sg.Types.root <> i || size <> 1 then
+              check false
+                (Printf.sprintf "non-mergeable function %s is merged with others"
+                   (Callgraph.node g i).Callgraph.name)
+          end)
+        sg.Types.members)
+    sol.Types.subgraphs;
+  (* Cost: recompute cut weight. *)
+  if !result = Ok () then begin
+    let cost = ref 0 in
+    List.iter
+      (fun e ->
+        let cut =
+          List.exists
+            (fun sg -> sg.Types.members.(e.Callgraph.src) && not sg.Types.members.(e.Callgraph.dst))
+            sol.Types.subgraphs
+        in
+        if cut then cost := !cost + e.Callgraph.weight)
+      g.Callgraph.edges;
+    check (!cost = sol.Types.cost)
+      (Printf.sprintf "reported cost %d does not match recomputed cost %d" sol.Types.cost !cost)
+  end;
+  !result

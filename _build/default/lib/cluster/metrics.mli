@@ -1,0 +1,21 @@
+(** Solution-quality metrics (§7.5.2).
+
+    The optimality gap is (Cost_H − Cost_O) / (Cost_B − Cost_O): the fraction
+    of the possible cross-container-cost reduction a heuristic fails to
+    capture.  0 means the heuristic matched the optimum; 1 means it is no
+    better than not merging at all. *)
+
+val baseline_cost : Quilt_dag.Callgraph.t -> int
+(** Cost of the non-merging baseline: every call is remote, so the cost is
+    the sum of all edge weights. *)
+
+val optimality_gap : cost_h:int -> cost_o:int -> cost_b:int -> float
+(** 0 when the denominator vanishes (no improvement was possible). *)
+
+val solution_valid :
+  Quilt_dag.Callgraph.t -> Types.limits -> Types.solution -> (unit, string) result
+(** Re-checks every published constraint on a solution: roots unique and
+    containing the graph root; every vertex covered; each subgraph a
+    connected rDAG from its root; closure under non-root callees; resource
+    limits; and the reported cost equal to the recomputed cut weight.  Used
+    by tests and as a safety check before merging. *)

@@ -1,0 +1,28 @@
+module Callgraph = Quilt_dag.Callgraph
+
+let solve ?max_k (g : Callgraph.t) (lim : Types.limits) =
+  let n = Callgraph.n_nodes g in
+  let max_k = match max_k with Some k -> min k n | None -> n in
+  let non_roots = List.filter (fun v -> v <> g.Callgraph.root) (List.init n (fun i -> i)) in
+  let best = ref None in
+  let cost_zero () = match !best with Some b -> b.Types.cost = 0 | None -> false in
+  (try
+     for k = 1 to max_k do
+       let subsets = Sweep.combinations non_roots (k - 1) in
+       List.iter
+         (fun extra ->
+           let roots = g.Callgraph.root :: extra in
+           if Closure.root_set_feasible g lim ~roots then begin
+             match Closure.solve_exact g lim ~roots with
+             | None -> ()
+             | Some sol -> (
+                 match !best with
+                 | Some b when sol.Types.cost >= b.Types.cost -> ()
+                 | _ -> best := Some sol)
+           end;
+           (* A zero-cost grouping cannot be improved. *)
+           if cost_zero () then raise Exit)
+         subsets
+     done
+   with Exit -> ());
+  !best

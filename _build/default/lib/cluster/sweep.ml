@@ -1,0 +1,44 @@
+let rec combinations items size =
+  if size = 0 then [ [] ]
+  else
+    match items with
+    | [] -> []
+    | x :: rest ->
+        let with_x = List.map (fun c -> x :: c) (combinations rest (size - 1)) in
+        let without_x = combinations rest size in
+        with_x @ without_x
+
+let solve_over_pool ?k_max ?(patience = 2) (g : Quilt_dag.Callgraph.t) (lim : Types.limits) ~pool =
+  let k_max =
+    match k_max with Some k -> k | None -> List.length pool + 1
+  in
+  let best = ref None in
+  let stale = ref 0 in
+  let k = ref 1 in
+  let continue = ref true in
+  while !continue && !k <= k_max do
+    let improved = ref false in
+    let subsets = combinations pool (!k - 1) in
+    List.iter
+      (fun extra ->
+        let roots = g.Quilt_dag.Callgraph.root :: extra in
+        if Closure.root_set_feasible g lim ~roots then begin
+          match Closure.solve g lim ~roots with
+          | None -> ()
+          | Some sol -> (
+              match !best with
+              | Some b when sol.Types.cost >= b.Types.cost -> ()
+              | _ ->
+                  best := Some sol;
+                  improved := true)
+        end)
+      subsets;
+    if !improved then stale := 0
+    else begin
+      incr stale;
+      (* Only give up early once a feasible grouping exists. *)
+      if !best <> None && !stale >= patience then continue := false
+    end;
+    incr k
+  done;
+  !best

@@ -1,0 +1,24 @@
+type limits = { max_cpu : float; max_mem_mb : float }
+
+type subgraph = {
+  root : int;
+  absorbed : int list;
+  members : bool array;
+  cpu : float;
+  mem_mb : float;
+}
+
+type solution = { roots : int list; subgraphs : subgraph list; cost : int }
+
+let pp_solution g fmt sol =
+  let open Quilt_dag in
+  Format.fprintf fmt "@[<v>solution: cost=%d, %d subgraphs@," sol.cost (List.length sol.subgraphs);
+  List.iter
+    (fun sg ->
+      let names = ref [] in
+      Array.iteri (fun i b -> if b then names := (Callgraph.node g i).Callgraph.name :: !names) sg.members;
+      Format.fprintf fmt "  G[%s]: cpu=%.1f mem=%.1fMB members={%s}@,"
+        (Callgraph.node g sg.root).Callgraph.name sg.cpu sg.mem_mb
+        (String.concat ", " (List.rev !names)))
+    sol.subgraphs;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,23 @@
+(** Shared types for the merge-decision algorithms (§4). *)
+
+type limits = {
+  max_cpu : float;  (** C: maximum CPU allocated to a container. *)
+  max_mem_mb : float;  (** M: maximum memory allocated to a container. *)
+}
+
+type subgraph = {
+  root : int;  (** The subgraph's unique root (entry point). *)
+  absorbed : int list;
+      (** Roots folded into this subgraph, always including [root]. *)
+  members : bool array;  (** M_r: all vertices of the subgraph. *)
+  cpu : float;  (** Accounted CPU demand (Appendix B constraint 7). *)
+  mem_mb : float;  (** Accounted memory demand (Appendix B constraint 6). *)
+}
+
+type solution = {
+  roots : int list;  (** The chosen root set R, global root first. *)
+  subgraphs : subgraph list;  (** One per root, same order as [roots]. *)
+  cost : int;  (** Σ of cut-edge weights: remote calls per window. *)
+}
+
+val pp_solution : Quilt_dag.Callgraph.t -> Format.formatter -> solution -> unit

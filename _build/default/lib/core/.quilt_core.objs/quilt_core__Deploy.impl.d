@@ -1,0 +1,1 @@
+lib/core/deploy.ml: Array Config Hashtbl List Quilt_apps Quilt_cluster Quilt_dag Quilt_lang Quilt_merge Quilt_platform

@@ -1,0 +1,1 @@
+lib/core/quilt.ml: Array Buffer Config Deploy Float List Printf Quilt_apps Quilt_cluster Quilt_dag Quilt_lang Quilt_merge Quilt_platform Quilt_tracing String

@@ -1,0 +1,1 @@
+lib/core/quilt.mli: Config Deploy Quilt_apps Quilt_cluster Quilt_dag Quilt_platform

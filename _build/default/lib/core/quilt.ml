@@ -1,0 +1,156 @@
+module Engine = Quilt_platform.Engine
+module Loadgen = Quilt_platform.Loadgen
+module Builder = Quilt_tracing.Builder
+module Callgraph = Quilt_dag.Callgraph
+module Decision = Quilt_cluster.Decision
+module Types = Quilt_cluster.Types
+module Workflow = Quilt_apps.Workflow
+module Sizes = Quilt_merge.Sizes
+module Pipeline = Quilt_merge.Pipeline
+
+type t = {
+  workflow : Workflow.t;
+  callgraph : Callgraph.t;
+  solution : Types.solution;
+  deployments : Deploy.merged_deployment list;
+}
+
+let fresh_platform ?(seed = 7) ?params ?(config = Config.default) ~workflows () =
+  let registry = Workflow.registry workflows in
+  let engine = Engine.create ~seed ?params ~registry () in
+  List.iter (fun wf -> Deploy.deploy_baseline engine config wf) workflows;
+  engine
+
+let profile (cfg : Config.t) ~workflows (wf : Workflow.t) =
+  let engine = fresh_platform ~seed:cfg.Config.seed ~config:cfg ~workflows () in
+  Engine.set_profiling engine true;
+  let _ =
+    Loadgen.run_closed_loop engine ~entry:wf.Workflow.entry ~gen_req:wf.Workflow.gen_req
+      ~connections:cfg.Config.profile_connections ~duration_us:cfg.Config.profile_duration_us
+      ~warmup_us:(cfg.Config.profile_duration_us *. 0.15)
+      ()
+  in
+  match Builder.build (Engine.tracing engine) ~entry:wf.Workflow.entry () with
+  | Error e -> Error e
+  | Ok g ->
+      let g = Builder.known_calls ~code_edges:wf.Workflow.code_edges g in
+      (* Traces do not carry the developers' opt-in bit (§1.1); attach it
+         from the uploaded functions. *)
+      let can_merge name =
+        match Workflow.lookup wf name with
+        | fn -> fn.Quilt_lang.Ast.mergeable
+        | exception Not_found -> true
+      in
+      Ok (Callgraph.with_mergeable g can_merge)
+
+let optimize ?graph (cfg : Config.t) ~workflows (wf : Workflow.t) =
+  let graph_result =
+    match graph with Some g -> Ok g | None -> profile cfg ~workflows wf
+  in
+  match graph_result with
+  | Error e -> Error (Printf.sprintf "profiling failed: %s" e)
+  | Ok callgraph -> (
+      let limits = Config.limits cfg in
+      let solution =
+        match cfg.Config.algorithm with
+        | Some algorithm -> Decision.solve ~seed:cfg.Config.seed algorithm callgraph limits
+        | None -> Decision.auto ~seed:cfg.Config.seed callgraph limits
+      in
+      match solution with
+      | None -> Error "no feasible grouping under the resource constraints"
+      | Some solution ->
+          let deployments =
+            List.filter_map
+              (fun (sg : Types.subgraph) ->
+                let n_members = Array.fold_left (fun a b -> if b then a + 1 else a) 0 sg.Types.members in
+                if n_members < 2 then None
+                else Some (Deploy.merged_spec cfg wf ~graph:callgraph ~subgraph:sg))
+              solution.Types.subgraphs
+          in
+          Ok { workflow = wf; callgraph; solution; deployments })
+
+let apply engine (t : t) =
+  (* §5.5: the previous functions keep serving until each merged container
+     is up; then the route flips seamlessly. *)
+  List.iter (fun (d : Deploy.merged_deployment) -> Engine.deploy_rolling engine d.Deploy.spec)
+    t.deployments
+
+let rollback engine cfg (t : t) =
+  List.iter
+    (fun (d : Deploy.merged_deployment) ->
+      let fn = Workflow.lookup t.workflow d.Deploy.root in
+      Engine.deploy engine (Deploy.baseline_spec cfg fn))
+    t.deployments
+
+type reconsideration = Keep | Remerge of t | Rollback_advised of string
+
+(* Structural + quantitative drift between the profile a plan was built on
+   and a fresh one. *)
+let graphs_drifted ~threshold (old_g : Callgraph.t) (new_g : Callgraph.t) =
+  let edge_key g (e : Callgraph.edge) =
+    ((Callgraph.node g e.Callgraph.src).Callgraph.name, (Callgraph.node g e.Callgraph.dst).Callgraph.name)
+  in
+  let old_names = List.sort compare (Array.to_list (Array.map (fun n -> n.Callgraph.name) old_g.Callgraph.nodes)) in
+  let new_names = List.sort compare (Array.to_list (Array.map (fun n -> n.Callgraph.name) new_g.Callgraph.nodes)) in
+  if old_names <> new_names then true
+  else begin
+    let old_edges = List.sort compare (List.map (edge_key old_g) old_g.Callgraph.edges) in
+    let new_edges = List.sort compare (List.map (edge_key new_g) new_g.Callgraph.edges) in
+    if old_edges <> new_edges then true
+    else begin
+      let alpha_of g name_pair =
+        List.find_map
+          (fun (e : Callgraph.edge) -> if edge_key g e = name_pair then Some (Callgraph.alpha g e) else None)
+          g.Callgraph.edges
+      in
+      let alpha_drift =
+        List.exists (fun key -> alpha_of old_g key <> alpha_of new_g key) old_edges
+      in
+      let rel a b = if a = 0.0 then Float.abs b else Float.abs (b -. a) /. a in
+      let resource_drift =
+        Array.exists
+          (fun (nd : Callgraph.node) ->
+            match Callgraph.find_node new_g nd.Callgraph.name with
+            | Some nd' ->
+                rel nd.Callgraph.cpu nd'.Callgraph.cpu > threshold
+                || rel nd.Callgraph.mem_mb nd'.Callgraph.mem_mb > threshold
+                || nd.Callgraph.mergeable <> nd'.Callgraph.mergeable
+            | None -> true)
+          old_g.Callgraph.nodes
+      in
+      alpha_drift || resource_drift
+    end
+  end
+
+let reconsider ?(drift_threshold = 0.3) (cfg : Config.t) ~workflows (t : t) =
+  (* Pick up the (possibly updated) workflow by name. *)
+  let wf =
+    match List.find_opt (fun w -> w.Workflow.wf_name = t.workflow.Workflow.wf_name) workflows with
+    | Some w -> w
+    | None -> t.workflow
+  in
+  match profile cfg ~workflows wf with
+  | Error e -> Rollback_advised (Printf.sprintf "re-profiling failed: %s" e)
+  | Ok fresh ->
+      if not (graphs_drifted ~threshold:drift_threshold t.callgraph fresh) then Keep
+      else begin
+        match optimize ~graph:fresh cfg ~workflows wf with
+        | Ok t' -> Remerge t'
+        | Error e -> Rollback_advised e
+      end
+
+let describe (t : t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "workflow %s: %d functions, cut cost %d (baseline %d)\n" t.workflow.Workflow.wf_name
+       (Callgraph.n_nodes t.callgraph) t.solution.Types.cost
+       (Quilt_cluster.Metrics.baseline_cost t.callgraph));
+  List.iter
+    (fun (d : Deploy.merged_deployment) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  merged [%s] <- {%s}: binary %.2f MB, langs %s\n" d.Deploy.root
+           (String.concat ", " d.Deploy.members)
+           (Sizes.binary_size_mb d.Deploy.report.Pipeline.merged_module)
+           (String.concat "," d.Deploy.report.Pipeline.languages)))
+    t.deployments;
+  Buffer.contents buf

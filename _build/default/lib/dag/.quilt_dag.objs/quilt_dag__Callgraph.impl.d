@@ -1,0 +1,1 @@
+lib/dag/callgraph.ml: Array Buffer Format List Printf Queue

@@ -1,0 +1,1 @@
+lib/dag/callgraph.mli: Format

@@ -1,0 +1,1 @@
+lib/dag/gen.ml: Array Callgraph Float Hashtbl List Printf Quilt_util

@@ -1,0 +1,1 @@
+lib/dag/gen.mli: Callgraph Quilt_util

@@ -1,0 +1,145 @@
+type call_kind = Sync | Async
+
+type node = { id : int; name : string; mem_mb : float; cpu : float; mergeable : bool }
+
+type edge = { src : int; dst : int; weight : int; kind : call_kind }
+
+type t = { nodes : node array; edges : edge list; root : int; invocations : int }
+
+let n_nodes g = Array.length g.nodes
+
+let node g i = g.nodes.(i)
+
+let find_node g name = Array.find_opt (fun n -> n.name = name) g.nodes
+
+let succs g i = List.filter (fun e -> e.src = i) g.edges
+
+let preds g i = List.filter (fun e -> e.dst = i) g.edges
+
+let alpha g e =
+  let n = if g.invocations <= 0 then 1 else g.invocations in
+  let a = (e.weight + n - 1) / n in
+  if a < 1 then 1 else a
+
+(* Kahn's algorithm; also detects cycles. *)
+let topo_order_opt g =
+  let n = Array.length g.nodes in
+  let indeg = Array.make n 0 in
+  List.iter (fun e -> indeg.(e.dst) <- indeg.(e.dst) + 1) g.edges;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr seen;
+    List.iter
+      (fun e ->
+        indeg.(e.dst) <- indeg.(e.dst) - 1;
+        if indeg.(e.dst) = 0 then Queue.add e.dst queue)
+      (succs g v)
+  done;
+  if !seen = n then Some (List.rev !order) else None
+
+let topo_order g =
+  match topo_order_opt g with
+  | Some o -> o
+  | None -> invalid_arg "Callgraph.topo_order: graph has a cycle"
+
+let reachable_from g start =
+  let n = Array.length g.nodes in
+  let seen = Array.make n false in
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter (fun e -> visit e.dst) (succs g v)
+    end
+  in
+  visit start;
+  seen
+
+let make ~nodes ~edges ~root ~invocations =
+  let n = Array.length nodes in
+  if n = 0 then invalid_arg "Callgraph.make: empty graph";
+  Array.iteri
+    (fun i nd -> if nd.id <> i then invalid_arg "Callgraph.make: node ids must be dense and in order")
+    nodes;
+  if root < 0 || root >= n then invalid_arg "Callgraph.make: root out of range";
+  List.iter
+    (fun e ->
+      if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then
+        invalid_arg "Callgraph.make: edge endpoint out of range";
+      if e.weight < 0 then invalid_arg "Callgraph.make: negative edge weight")
+    edges;
+  let g = { nodes; edges; root; invocations } in
+  (match topo_order_opt g with
+  | Some _ -> ()
+  | None -> invalid_arg "Callgraph.make: graph has a cycle");
+  let seen = reachable_from g root in
+  Array.iteri
+    (fun i reached ->
+      if not reached then
+        invalid_arg (Printf.sprintf "Callgraph.make: node %d (%s) unreachable from root" i nodes.(i).name))
+    seen;
+  g
+
+let is_reachable g i j =
+  let seen = reachable_from g i in
+  seen.(j)
+
+let descendant_sets g =
+  let n = Array.length g.nodes in
+  let sets = Array.make n [||] in
+  let computed = Array.make n false in
+  (* Reverse topological order: successors are memoized before each node. *)
+  let order = List.rev (topo_order g) in
+  List.iter
+    (fun v ->
+      let d = Array.make n false in
+      d.(v) <- true;
+      List.iter
+        (fun e ->
+          assert computed.(e.dst);
+          Array.iteri (fun j b -> if b then d.(j) <- true) sets.(e.dst))
+        (succs g v);
+      sets.(v) <- d;
+      computed.(v) <- true)
+    order;
+  sets
+
+let with_mergeable g can_merge =
+  { g with nodes = Array.map (fun n -> { n with mergeable = can_merge n.name }) g.nodes }
+
+let weighted_in_degree g i =
+  List.fold_left (fun acc e -> acc +. float_of_int e.weight) 0.0 (preds g i)
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>call graph (root=%s, N=%d)@," g.nodes.(g.root).name g.invocations;
+  Array.iter
+    (fun nd -> Format.fprintf fmt "  node %d %-24s mem=%.1fMB cpu=%.2f@," nd.id nd.name nd.mem_mb nd.cpu)
+    g.nodes;
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  edge %s -> %s w=%d (%s)@," g.nodes.(e.src).name g.nodes.(e.dst).name
+        e.weight
+        (match e.kind with Sync -> "sync" | Async -> "async"))
+    g.edges;
+  Format.fprintf fmt "@]"
+
+let to_dot g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph callgraph {\n";
+  Array.iter
+    (fun nd ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\nmem=%.0fMB cpu=%.1f\"];\n" nd.id nd.name nd.mem_mb nd.cpu))
+    g.nodes;
+  List.iter
+    (fun e ->
+      let style = match e.kind with Sync -> "solid" | Async -> "dashed" in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%d\",style=%s];\n" e.src e.dst e.weight style))
+    g.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,78 @@
+(** Workflow call graphs (§3–§4).
+
+    A call graph is a connected rooted DAG: vertices are serverless functions
+    labelled with profiled resources (peak memory [mem_mb], average CPU
+    [cpu]); directed edges are caller→callee relationships labelled with the
+    profiled invocation count [weight] and the call kind (synchronous or
+    asynchronous).  [invocations] is N, the number of workflow invocations in
+    the profiling window; {!alpha} is the normalized per-workflow edge weight
+    ⌈w/N⌉ from §4.1. *)
+
+type call_kind = Sync | Async
+
+type node = {
+  id : int;  (** Dense index into {!field-nodes}. *)
+  name : string;
+  mem_mb : float;  (** Peak memory per instance, m_i. *)
+  cpu : float;  (** Average CPU per invocation, c_i (vCPU·ms). *)
+  mergeable : bool;
+      (** The developer's opt-in bit (§1.1): false pins the function to its
+          own container — the decision algorithms force it to be a singleton
+          group. *)
+}
+
+type edge = {
+  src : int;
+  dst : int;
+  weight : int;  (** Profiled invocation count w_{i,j} over the window. *)
+  kind : call_kind;
+}
+
+type t = {
+  nodes : node array;
+  edges : edge list;
+  root : int;
+  invocations : int;  (** N: workflow invocations in the profiling window. *)
+}
+
+val make :
+  nodes:node array -> edges:edge list -> root:int -> invocations:int -> t
+(** Builds and validates a call graph.  Raises [Invalid_argument] if ids are
+    not dense, the graph has a cycle, an edge endpoint is out of range, or
+    some node is unreachable from [root]. *)
+
+val alpha : t -> edge -> int
+(** ⌈w_{i,j} / N⌉, at least 1. *)
+
+val n_nodes : t -> int
+val node : t -> int -> node
+val find_node : t -> string -> node option
+
+val succs : t -> int -> edge list
+(** Outgoing edges of a vertex. *)
+
+val preds : t -> int -> edge list
+(** Incoming edges of a vertex. *)
+
+val topo_order : t -> int list
+(** Vertices in topological order (root first). *)
+
+val descendant_sets : t -> bool array array
+(** [descendant_sets g] is a matrix [d] where [d.(i).(j)] is true iff [j] is
+    reachable from [i] (including [i] itself).  Computed with memoization in
+    reverse topological order, as Appendix C.3 prescribes. *)
+
+val weighted_in_degree : t -> int -> float
+(** Σ of weights of incoming edges (W_in in Appendix C.1). *)
+
+val is_reachable : t -> int -> int -> bool
+
+val with_mergeable : t -> (string -> bool) -> t
+(** Re-labels the opt-in bit by function name (used after profiling, since
+    traces do not carry it). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering. *)
+
+val to_dot : t -> string
+(** Graphviz rendering, for inspection. *)

@@ -1,0 +1,1 @@
+lib/ilp/bb.ml: Array Float Lp Quilt_util Simplex

@@ -1,0 +1,228 @@
+type result = Optimal of float * float array | Infeasible | Unbounded
+
+let eps = 1e-9
+
+(* Dense two-phase simplex on the tableau
+     [ A | I_slack | I_artificial | b ]
+   with an extra objective row.  Variables have been shifted to have lower
+   bound 0; finite upper bounds are explicit Le rows. *)
+
+type tableau = {
+  rows : float array array; (* m x (total_cols + 1); last column is rhs *)
+  obj : float array; (* total_cols + 1; last entry is -objective value *)
+  basis : int array; (* basic variable of each row *)
+  m : int;
+  total_cols : int;
+}
+
+let pivot t ~row ~col =
+  let prow = t.rows.(row) in
+  let pval = prow.(col) in
+  let width = t.total_cols + 1 in
+  let inv = 1.0 /. pval in
+  for j = 0 to width - 1 do
+    prow.(j) <- prow.(j) *. inv
+  done;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let r = t.rows.(i) in
+      let factor = r.(col) in
+      if Float.abs factor > 0.0 then
+        for j = 0 to width - 1 do
+          r.(j) <- r.(j) -. (factor *. prow.(j))
+        done
+    end
+  done;
+  let factor = t.obj.(col) in
+  if Float.abs factor > 0.0 then
+    for j = 0 to width - 1 do
+      t.obj.(j) <- t.obj.(j) -. (factor *. prow.(j))
+    done;
+  t.basis.(row) <- col
+
+(* Bland's rule: entering = smallest index with negative reduced cost;
+   leaving = smallest ratio, ties by smallest basis index. *)
+let iterate ?(allowed = fun _ -> true) t =
+  let rec loop guard =
+    if guard > 200_000 then failwith "Simplex.iterate: iteration guard exceeded";
+    (* Entering variable. *)
+    let enter = ref (-1) in
+    (try
+       for j = 0 to t.total_cols - 1 do
+         if allowed j && t.obj.(j) < -.eps then begin
+           enter := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !enter = -1 then `Optimal
+    else begin
+      let col = !enter in
+      let best_row = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to t.m - 1 do
+        let a = t.rows.(i).(col) in
+        if a > eps then begin
+          let ratio = t.rows.(i).(t.total_cols) /. a in
+          if
+            ratio < !best_ratio -. eps
+            || (Float.abs (ratio -. !best_ratio) <= eps
+               && !best_row >= 0
+               && t.basis.(i) < t.basis.(!best_row))
+          then begin
+            best_ratio := ratio;
+            best_row := i
+          end
+        end
+      done;
+      if !best_row = -1 then `Unbounded
+      else begin
+        pivot t ~row:!best_row ~col;
+        loop (guard + 1)
+      end
+    end
+  in
+  loop 0
+
+let solve (p : Lp.problem) =
+  let n = p.n_vars in
+  (* Shift variables: x = lower + y, y >= 0. *)
+  let shift = p.lower in
+  let rows = ref [] in
+  (* Original constraints with shifted rhs. *)
+  List.iter
+    (fun (c : Lp.constr) ->
+      let dense = Array.make n 0.0 in
+      List.iter (fun (i, v) -> dense.(i) <- dense.(i) +. v) c.coeffs;
+      let offset = ref 0.0 in
+      Array.iteri (fun i v -> offset := !offset +. (v *. shift.(i))) dense;
+      rows := (dense, c.op, c.rhs -. !offset) :: !rows)
+    p.constraints;
+  (* Upper bounds as rows. *)
+  for i = 0 to n - 1 do
+    let ub = p.upper.(i) -. p.lower.(i) in
+    if ub < -.eps then rows := ([||], Lp.Eq, -1.0) :: !rows (* infeasible box *)
+    else if ub < infinity then begin
+      let dense = Array.make n 0.0 in
+      dense.(i) <- 1.0;
+      rows := (dense, Lp.Le, ub) :: !rows
+    end
+  done;
+  let rows = List.rev !rows in
+  let m = List.length rows in
+  (* Count slacks and artificials. *)
+  let n_slack = ref 0 and n_art = ref 0 in
+  List.iter
+    (fun (_, op, rhs) ->
+      let rhs_neg = rhs < 0.0 in
+      let op = if rhs_neg then (match op with Lp.Le -> Lp.Ge | Lp.Ge -> Lp.Le | Lp.Eq -> Lp.Eq) else op in
+      match op with
+      | Lp.Le -> incr n_slack
+      | Lp.Ge ->
+          incr n_slack;
+          incr n_art
+      | Lp.Eq -> incr n_art)
+    rows;
+  let total = n + !n_slack + !n_art in
+  let t =
+    {
+      rows = Array.init m (fun _ -> Array.make (total + 1) 0.0);
+      obj = Array.make (total + 1) 0.0;
+      basis = Array.make m (-1);
+      m;
+      total_cols = total;
+    }
+  in
+  let slack_base = n in
+  let art_base = n + !n_slack in
+  let next_slack = ref 0 and next_art = ref 0 in
+  List.iteri
+    (fun i (dense, op, rhs) ->
+      let neg = rhs < 0.0 in
+      let sign = if neg then -1.0 else 1.0 in
+      let rhs = Float.abs rhs in
+      let op = if neg then (match op with Lp.Le -> Lp.Ge | Lp.Ge -> Lp.Le | Lp.Eq -> Lp.Eq) else op in
+      let r = t.rows.(i) in
+      Array.iteri (fun j v -> if j < n then r.(j) <- sign *. v) dense;
+      r.(total) <- rhs;
+      (match op with
+      | Lp.Le ->
+          let s = slack_base + !next_slack in
+          incr next_slack;
+          r.(s) <- 1.0;
+          t.basis.(i) <- s
+      | Lp.Ge ->
+          let s = slack_base + !next_slack in
+          incr next_slack;
+          r.(s) <- -1.0;
+          let a = art_base + !next_art in
+          incr next_art;
+          r.(a) <- 1.0;
+          t.basis.(i) <- a
+      | Lp.Eq ->
+          let a = art_base + !next_art in
+          incr next_art;
+          r.(a) <- 1.0;
+          t.basis.(i) <- a))
+    rows;
+  (* Phase 1: minimize sum of artificials. *)
+  if !n_art > 0 then begin
+    for j = art_base to total - 1 do
+      t.obj.(j) <- 1.0
+    done;
+    (* Price out basic artificials. *)
+    for i = 0 to m - 1 do
+      if t.basis.(i) >= art_base then
+        for j = 0 to total do
+          t.obj.(j) <- t.obj.(j) -. t.rows.(i).(j)
+        done
+    done;
+    (match iterate t with
+    | `Optimal -> ()
+    | `Unbounded -> failwith "Simplex: phase 1 unbounded (impossible)");
+    let phase1 = -.t.obj.(total) in
+    if phase1 > 1e-6 then raise Exit
+  end;
+  (* Drive remaining artificials out of the basis where possible. *)
+  for i = 0 to m - 1 do
+    if t.basis.(i) >= art_base then begin
+      let found = ref false in
+      let j = ref 0 in
+      while (not !found) && !j < art_base do
+        if Float.abs t.rows.(i).(!j) > 1e-7 then begin
+          pivot t ~row:i ~col:!j;
+          found := true
+        end;
+        incr j
+      done
+      (* A row whose only nonzero is the artificial is redundant; leave it. *)
+    end
+  done;
+  (* Phase 2 objective on shifted variables. *)
+  Array.fill t.obj 0 (total + 1) 0.0;
+  for j = 0 to n - 1 do
+    t.obj.(j) <- p.objective.(j)
+  done;
+  for i = 0 to m - 1 do
+    let b = t.basis.(i) in
+    if b < n && Float.abs t.obj.(b) > 0.0 then begin
+      let factor = t.obj.(b) in
+      for j = 0 to total do
+        t.obj.(j) <- t.obj.(j) -. (factor *. t.rows.(i).(j))
+      done
+    end
+  done;
+  (* Forbid artificials from re-entering. *)
+  let allowed j = j < art_base in
+  match iterate ~allowed t with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+      let x = Array.copy p.lower in
+      for i = 0 to m - 1 do
+        let b = t.basis.(i) in
+        if b < n then x.(b) <- p.lower.(b) +. t.rows.(i).(total)
+      done;
+      let obj_val = Lp.eval_objective p x in
+      Optimal (obj_val, x)
+
+let solve p = try solve p with Exit -> Infeasible

@@ -1,0 +1,14 @@
+(** Two-phase dense simplex for the LP relaxations used by {!Bb}.
+
+    Variables are shifted so lower bounds become zero; finite upper bounds
+    become explicit rows.  Bland's rule guarantees termination.  Problem
+    sizes in Quilt's decision phase are small (hundreds of variables), so a
+    dense tableau is adequate and keeps the implementation auditable. *)
+
+type result =
+  | Optimal of float * float array  (** Objective value and a primal solution. *)
+  | Infeasible
+  | Unbounded
+
+val solve : Lp.problem -> result
+(** Solves the LP relaxation of [p] (integrality is ignored). *)

@@ -1,0 +1,1 @@
+lib/ir/abi.ml: Bytes Char Hashtbl Int64 Printf String

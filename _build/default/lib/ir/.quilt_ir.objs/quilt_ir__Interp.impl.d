@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Abi Float Hashtbl Int64 Intrinsics Ir List Option Printf Quilt_util String

@@ -1,0 +1,1 @@
+lib/ir/intrinsics.ml: Hashtbl Ir Lazy List

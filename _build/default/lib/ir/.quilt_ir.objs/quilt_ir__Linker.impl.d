@@ -1,0 +1,1 @@
+lib/ir/linker.ml: Hashtbl Ir List Pp Printf

@@ -1,0 +1,1 @@
+lib/ir/linker.mli: Ir

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Buffer Char Int64 Ir List Printf String

@@ -1,0 +1,1 @@
+lib/ir/pass_dce.ml: Hashtbl Ir List Queue

@@ -1,0 +1,1 @@
+lib/ir/pass_mergefunc.ml: Builder Filename Hashtbl Int64 Intrinsics Ir List Printf String

@@ -1,0 +1,1 @@
+lib/ir/pass_simplify.ml: Hashtbl Int64 Ir List

@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Buffer Char Format Int64 Ir List Printf String

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Hashtbl Intrinsics Ir List Printf String

@@ -1,0 +1,147 @@
+module Mem = struct
+  exception Trap of string
+
+  type t = {
+    blocks : (int, Bytes.t) Hashtbl.t;
+    mutable next : int;
+    mutable total : int;
+  }
+
+  let create () = { blocks = Hashtbl.create 64; next = 1; total = 0 }
+
+  let alloc m n =
+    if n < 0 then raise (Trap "negative allocation");
+    let id = m.next in
+    m.next <- m.next + 1;
+    Hashtbl.replace m.blocks id (Bytes.make n '\000');
+    m.total <- m.total + n;
+    Int64.logor (Int64.shift_left (Int64.of_int id) 32) 0L
+
+  let decode m ptr =
+    if ptr = 0L then raise (Trap "null pointer dereference");
+    let id = Int64.to_int (Int64.shift_right_logical ptr 32) in
+    let off = Int64.to_int (Int64.logand ptr 0xFFFFFFFFL) in
+    match Hashtbl.find_opt m.blocks id with
+    | Some b -> (b, off)
+    | None -> raise (Trap (Printf.sprintf "wild pointer (block %d)" id))
+
+  let load_byte m ptr =
+    let b, off = decode m ptr in
+    if off < 0 || off >= Bytes.length b then raise (Trap "load out of bounds");
+    Char.code (Bytes.get b off)
+
+  let store_byte m ptr v =
+    let b, off = decode m ptr in
+    if off < 0 || off >= Bytes.length b then raise (Trap "store out of bounds");
+    Bytes.set b off (Char.chr (v land 0xff))
+
+  let load_i64 m ptr =
+    let b, off = decode m ptr in
+    if off < 0 || off + 8 > Bytes.length b then raise (Trap "load i64 out of bounds");
+    Bytes.get_int64_le b off
+
+  let store_i64 m ptr v =
+    let b, off = decode m ptr in
+    if off < 0 || off + 8 > Bytes.length b then raise (Trap "store i64 out of bounds");
+    Bytes.set_int64_le b off v
+
+  let offset ptr n = Int64.add ptr (Int64.of_int n)
+
+  let read_cstr m ptr =
+    let b, off = decode m ptr in
+    let len = Bytes.length b in
+    let rec find i = if i >= len then raise (Trap "unterminated string") else if Bytes.get b i = '\000' then i else find (i + 1) in
+    let stop = find off in
+    Bytes.sub_string b off (stop - off)
+
+  let write_cstr m s =
+    let ptr = alloc m (String.length s + 1) in
+    String.iteri (fun i c -> store_byte m (offset ptr i) (Char.code c)) s;
+    ptr
+
+  let read_bytes m ptr n =
+    let b, off = decode m ptr in
+    if off < 0 || off + n > Bytes.length b then raise (Trap "read out of bounds");
+    Bytes.sub_string b off n
+
+  let allocated_bytes m = m.total
+end
+
+type str_abi = {
+  abi_lang : string;
+  read_str : Mem.t -> int64 -> string;
+  alloc_str : Mem.t -> string -> int64;
+}
+
+let write_raw m s =
+  let ptr = Mem.alloc m (max 1 (String.length s)) in
+  String.iteri (fun i c -> Mem.store_byte m (Mem.offset ptr i) (Char.code c)) s;
+  ptr
+
+let c_abi lang =
+  { abi_lang = lang; read_str = Mem.read_cstr; alloc_str = (fun m s -> Mem.write_cstr m s) }
+
+(* Rust String: {data ptr; len; cap}; data has cap >= len bytes, no NUL. *)
+let rust_abi =
+  {
+    abi_lang = "rust";
+    read_str =
+      (fun m h ->
+        let data = Mem.load_i64 m h in
+        let len = Int64.to_int (Mem.load_i64 m (Mem.offset h 8)) in
+        if len = 0 then "" else Mem.read_bytes m data len);
+    alloc_str =
+      (fun m s ->
+        let cap = String.length s + 8 in
+        let data = write_raw m (s ^ String.make 8 '\000') in
+        let h = Mem.alloc m 24 in
+        Mem.store_i64 m h data;
+        Mem.store_i64 m (Mem.offset h 8) (Int64.of_int (String.length s));
+        Mem.store_i64 m (Mem.offset h 16) (Int64.of_int cap);
+        h);
+  }
+
+(* Go string: {data ptr; len}. *)
+let go_abi =
+  {
+    abi_lang = "go";
+    read_str =
+      (fun m h ->
+        let data = Mem.load_i64 m h in
+        let len = Int64.to_int (Mem.load_i64 m (Mem.offset h 8)) in
+        if len = 0 then "" else Mem.read_bytes m data len);
+    alloc_str =
+      (fun m s ->
+        let data = write_raw m (if s = "" then "\000" else s) in
+        let h = Mem.alloc m 16 in
+        Mem.store_i64 m h data;
+        Mem.store_i64 m (Mem.offset h 8) (Int64.of_int (String.length s));
+        h);
+  }
+
+(* Swift String (simplified heap representation): {refcount; data ptr; len}. *)
+let swift_abi =
+  {
+    abi_lang = "swift";
+    read_str =
+      (fun m h ->
+        let data = Mem.load_i64 m (Mem.offset h 8) in
+        let len = Int64.to_int (Mem.load_i64 m (Mem.offset h 16)) in
+        if len = 0 then "" else Mem.read_bytes m data len);
+    alloc_str =
+      (fun m s ->
+        let data = write_raw m (if s = "" then "\000" else s) in
+        let h = Mem.alloc m 24 in
+        Mem.store_i64 m h 1L;
+        Mem.store_i64 m (Mem.offset h 8) data;
+        Mem.store_i64 m (Mem.offset h 16) (Int64.of_int (String.length s));
+        h);
+  }
+
+let abi_of_lang = function
+  | "c" -> c_abi "c"
+  | "cpp" -> c_abi "cpp"
+  | "rust" -> rust_abi
+  | "go" -> go_abi
+  | "swift" -> swift_abi
+  | l -> invalid_arg (Printf.sprintf "Abi.abi_of_lang: unknown language %s" l)

@@ -1,0 +1,76 @@
+type t = {
+  fname : string;
+  params : (string * Ir.ty) list;
+  ret_ty : Ir.ty;
+  lang : string option;
+  mutable blocks_rev : Ir.block list;
+  mutable cur_label : string option;
+  mutable cur_instrs_rev : Ir.instr list;
+  mutable counter : int;
+}
+
+let create ~fname ~params ~ret_ty ~lang =
+  {
+    fname;
+    params;
+    ret_ty;
+    lang;
+    blocks_rev = [];
+    cur_label = Some "entry";
+    cur_instrs_rev = [];
+    counter = 0;
+  }
+
+let fresh b prefix =
+  b.counter <- b.counter + 1;
+  Printf.sprintf "%s.%d" prefix b.counter
+
+let fresh_label b prefix =
+  b.counter <- b.counter + 1;
+  Printf.sprintf "%s%d" prefix b.counter
+
+let emit b i =
+  match b.cur_label with
+  | Some _ -> b.cur_instrs_rev <- i :: b.cur_instrs_rev
+  | None -> invalid_arg "Builder.emit: no open block (call start_block)"
+
+let call b ~ret ~callee ~args =
+  if ret = Ir.Void then invalid_arg "Builder.call: use call_void";
+  let dst = fresh b "t" in
+  emit b (Ir.Call { dst = Some dst; ret; callee; args });
+  Ir.Local dst
+
+let call_void b ~callee ~args = emit b (Ir.Call { dst = None; ret = Ir.Void; callee; args })
+
+let terminate b term =
+  match b.cur_label with
+  | Some label ->
+      b.blocks_rev <- { Ir.label; instrs = List.rev b.cur_instrs_rev; term } :: b.blocks_rev;
+      b.cur_label <- None;
+      b.cur_instrs_rev <- []
+  | None -> invalid_arg "Builder.terminate: no open block"
+
+let start_block b label =
+  match b.cur_label with
+  | None ->
+      b.cur_label <- Some label;
+      b.cur_instrs_rev <- []
+  | Some _ -> invalid_arg "Builder.start_block: current block not terminated"
+
+let current_label b =
+  match b.cur_label with
+  | Some l -> l
+  | None -> invalid_arg "Builder.current_label: no open block"
+
+let finish b =
+  (match b.cur_label with
+  | Some _ -> invalid_arg "Builder.finish: current block not terminated"
+  | None -> ());
+  {
+    Ir.fname = b.fname;
+    params = b.params;
+    ret_ty = b.ret_ty;
+    blocks = List.rev b.blocks_rev;
+    linkage = Ir.External;
+    lang = b.lang;
+  }

@@ -1,0 +1,32 @@
+(** Imperative function builder used by the frontends and by the passes that
+    synthesize shim functions. *)
+
+type t
+
+val create : fname:string -> params:(string * Ir.ty) list -> ret_ty:Ir.ty -> lang:string option -> t
+
+val fresh : t -> string -> string
+(** A local name unique within this function, derived from the prefix. *)
+
+val fresh_label : t -> string -> string
+
+val emit : t -> Ir.instr -> unit
+
+val call : t -> ret:Ir.ty -> callee:string -> args:(Ir.ty * Ir.value) list -> Ir.value
+(** Emits a call and returns the destination local as a value.  [ret] must
+    not be [Void]. *)
+
+val call_void : t -> callee:string -> args:(Ir.ty * Ir.value) list -> unit
+
+val terminate : t -> Ir.terminator -> unit
+(** Closes the current block.  The next {!emit}/{!start_block} opens a new
+    one; use {!start_block} to give it a chosen label. *)
+
+val start_block : t -> string -> unit
+(** Begins a new block with the given label.  The previous block must have
+    been terminated. *)
+
+val current_label : t -> string
+
+val finish : t -> Ir.func
+(** The current block must have been terminated. *)

@@ -1,0 +1,426 @@
+module Mem = Abi.Mem
+module Json = Quilt_util.Json
+
+exception Trap of string
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+
+type stats = {
+  mutable steps : int;
+  mutable cpu_us : float;
+  mutable io_us : float;
+  mutable peak_mem_mb : float;
+  mutable remote_sync : (string * string) list;
+  mutable remote_async : (string * string) list;
+  mutable curl_loaded : bool;
+  mutable curl_loaded_eagerly : bool;
+  calls : (string, int) Hashtbl.t;
+  billing : (string, int) Hashtbl.t;
+}
+
+let new_stats () =
+  {
+    steps = 0;
+    cpu_us = 0.0;
+    io_us = 0.0;
+    peak_mem_mb = 0.0;
+    remote_sync = [];
+    remote_async = [];
+    curl_loaded = false;
+    curl_loaded_eagerly = false;
+    calls = Hashtbl.create 16;
+    billing = Hashtbl.create 16;
+  }
+
+type host = { invoke : kind:[ `Sync | `Async ] -> name:string -> req:string -> string }
+
+let null_host =
+  { invoke = (fun ~kind:_ ~name ~req:_ -> trap "unexpected remote invocation of %s" name) }
+
+let echo_host =
+  {
+    invoke =
+      (fun ~kind:_ ~name ~req ->
+        Json.to_string (Json.Obj [ ("echo", Json.String name); ("req", Json.String req) ]));
+  }
+
+type value = VInt of int64 | VFloat of float
+
+let as_int = function VInt v -> v | VFloat _ -> trap "expected integer value"
+let as_float = function VFloat f -> f | VInt _ -> trap "expected float value"
+
+type ctx = {
+  m : Ir.modul;
+  mem : Mem.t;
+  stats : stats;
+  host : host;
+  globals : (string, int64) Hashtbl.t;
+  mutable fuel : int;
+  mutable req_ptr : int64;  (* what quilt_get_req returns *)
+  mutable response : string option;
+}
+
+let materialize_globals ctx =
+  List.iter
+    (fun (g : Ir.global) ->
+      let ptr =
+        match g.Ir.ginit with
+        | Ir.Gstr s -> Mem.write_cstr ctx.mem s
+        | Ir.Gzero n -> Mem.alloc ctx.mem n
+        | Ir.Gint64 v ->
+            let p = Mem.alloc ctx.mem 8 in
+            Mem.store_i64 ctx.mem p v;
+            p
+      in
+      Hashtbl.replace ctx.globals g.Ir.gname ptr)
+    ctx.m.Ir.globals
+
+let global_addr ctx name =
+  match Hashtbl.find_opt ctx.globals name with
+  | Some p -> p
+  | None -> trap "reference to unmaterialized global @%s" name
+
+(* --- Native (intrinsic) implementations --- *)
+
+let json_parse str =
+  match Json.of_string str with
+  | v -> v
+  | exception Json.Parse_error msg -> trap "json parse error: %s" msg
+
+(* Field reads are lenient (see Quilt_lang.Eval): unparsable input reads as
+   null; writes on non-objects still trap. *)
+let json_parse_lenient str =
+  match Json.of_string str with v -> v | exception Json.Parse_error _ -> Json.Null
+
+let json_member_string obj key =
+  match Json.member key obj with
+  | Json.String s -> s
+  | Json.Int i -> string_of_int i
+  | Json.Null -> ""
+  | other -> Json.to_string other
+
+let lang_native ctx lang suffix (args : value list) : value option =
+  let abi = Abi.abi_of_lang lang in
+  let mem = ctx.mem in
+  let str v = abi.Abi.read_str mem (as_int v) in
+  let ret_str s = Some (VInt (abi.Abi.alloc_str mem s)) in
+  match suffix, args with
+  | "str_from_c", [ p ] -> ret_str (Mem.read_cstr mem (as_int p))
+  | "str_to_c", [ h ] -> Some (VInt (Mem.write_cstr mem (str h)))
+  | "concat", [ a; b ] -> ret_str (str a ^ str b)
+  | "itoa", [ n ] -> ret_str (Int64.to_string (as_int n))
+  | "atoi", [ s ] -> (
+      let text = String.trim (str s) in
+      match Int64.of_string_opt text with
+      | Some v -> Some (VInt v)
+      | None -> Some (VInt 0L))
+  | "str_eq", [ a; b ] -> Some (VInt (if str a = str b then 1L else 0L))
+  | "json_get_str", [ obj; key ] ->
+      ret_str (json_member_string (json_parse_lenient (str obj)) (str key))
+  | "json_get_int", [ obj; key ] -> (
+      match Json.to_int_opt (Json.member (str key) (json_parse_lenient (str obj))) with
+      | Some i -> Some (VInt (Int64.of_int i))
+      | None -> Some (VInt 0L))
+  | "json_arr_len", [ obj; key ] ->
+      let items = Json.to_list (Json.member (str key) (json_parse_lenient (str obj))) in
+      Some (VInt (Int64.of_int (List.length items)))
+  | "json_arr_get", [ obj; key; idx ] -> (
+      let items = Json.to_list (Json.member (str key) (json_parse_lenient (str obj))) in
+      let i = Int64.to_int (as_int idx) in
+      match List.nth_opt items i with
+      | Some item -> ret_str (Json.to_string item)
+      | None -> trap "json_arr_get: index %d out of bounds (%d items)" i (List.length items))
+  | "json_empty", [] -> ret_str "{}"
+  | "json_set_str", [ obj; key; v ] -> (
+      match json_parse (str obj) with
+      | Json.Obj fields ->
+          let fields = List.remove_assoc (str key) fields in
+          ret_str (Json.to_string (Json.Obj (fields @ [ (str key, Json.String (str v)) ])))
+      | _ -> trap "json_set_str: not an object")
+  | "json_set_int", [ obj; key; v ] -> (
+      match json_parse (str obj) with
+      | Json.Obj fields ->
+          let fields = List.remove_assoc (str key) fields in
+          ret_str
+            (Json.to_string (Json.Obj (fields @ [ (str key, Json.Int (Int64.to_int (as_int v))) ])))
+      | _ -> trap "json_set_int: not an object")
+  | "json_set_raw", [ obj; key; v ] -> (
+      match json_parse (str obj) with
+      | Json.Obj fields ->
+          let fields = List.remove_assoc (str key) fields in
+          ret_str (Json.to_string (Json.Obj (fields @ [ (str key, json_parse (str v)) ])))
+      | _ -> trap "json_set_raw: not an object")
+  | _ -> trap "bad native call %s_%s/%d" lang suffix (List.length args)
+
+let shared_native ctx name (args : value list) : value option =
+  let mem = ctx.mem in
+  match name, args with
+  | "quilt_malloc", [ n ] -> Some (VInt (Mem.alloc mem (Int64.to_int (as_int n))))
+  | "quilt_free", [ _ ] -> None
+  | "quilt_memcpy", [ dst; src; n ] ->
+      let n = Int64.to_int (as_int n) in
+      for i = 0 to n - 1 do
+        Mem.store_byte mem (Mem.offset (as_int dst) i) (Mem.load_byte mem (Mem.offset (as_int src) i))
+      done;
+      None
+  | "quilt_strlen", [ p ] -> Some (VInt (Int64.of_int (String.length (Mem.read_cstr mem (as_int p)))))
+  | "quilt_get_req", [] ->
+      if ctx.req_ptr = 0L then trap "quilt_get_req outside a request";
+      Some (VInt ctx.req_ptr)
+  | "quilt_send_res", [ p ] ->
+      ctx.response <- Some (Mem.read_cstr mem (as_int p));
+      None
+  | "quilt_sync_inv", [ namep; reqp ] ->
+      if not ctx.stats.curl_loaded then trap "quilt_sync_inv before HTTP stack initialisation";
+      let callee = Mem.read_cstr mem (as_int namep) in
+      let req = Mem.read_cstr mem (as_int reqp) in
+      ctx.stats.remote_sync <- (callee, req) :: ctx.stats.remote_sync;
+      let res = ctx.host.invoke ~kind:`Sync ~name:callee ~req in
+      Some (VInt (Mem.write_cstr mem res))
+  | "quilt_async_inv", [ namep; reqp ] ->
+      if not ctx.stats.curl_loaded then trap "quilt_async_inv before HTTP stack initialisation";
+      let callee = Mem.read_cstr mem (as_int namep) in
+      let req = Mem.read_cstr mem (as_int reqp) in
+      ctx.stats.remote_async <- (callee, req) :: ctx.stats.remote_async;
+      let res = ctx.host.invoke ~kind:`Async ~name:callee ~req in
+      let fut = Mem.alloc mem 8 in
+      Mem.store_i64 mem fut (Mem.write_cstr mem res);
+      Some (VInt fut)
+  | "quilt_future_ready", [ p ] ->
+      let fut = Mem.alloc mem 8 in
+      Mem.store_i64 mem fut (as_int p);
+      Some (VInt fut)
+  | "quilt_async_wait", [ f ] -> Some (VInt (Mem.load_i64 mem (as_int f)))
+  | "quilt_curl_global_init", [] ->
+      ctx.stats.curl_loaded <- true;
+      ctx.stats.curl_loaded_eagerly <- true;
+      None
+  | "quilt_curl_init_once", [] ->
+      ctx.stats.curl_loaded <- true;
+      None
+  | "quilt_burn_cpu", [ us ] ->
+      ctx.stats.cpu_us <- ctx.stats.cpu_us +. Int64.to_float (as_int us);
+      None
+  | "quilt_sleep_io", [ us ] ->
+      ctx.stats.io_us <- ctx.stats.io_us +. Int64.to_float (as_int us);
+      None
+  | "quilt_use_mem", [ mb ] ->
+      ctx.stats.peak_mem_mb <- Float.max ctx.stats.peak_mem_mb (Int64.to_float (as_int mb));
+      None
+  | "quilt_bill", [ p ] ->
+      let fn = Mem.read_cstr mem (as_int p) in
+      Hashtbl.replace ctx.stats.billing fn
+        (1 + Option.value ~default:0 (Hashtbl.find_opt ctx.stats.billing fn));
+      None
+  | _ -> trap "bad native call %s/%d" name (List.length args)
+
+let native ctx name args =
+  match String.index_opt name '_' with
+  | Some i when String.sub name 0 i <> "quilt" ->
+      let lang = String.sub name 0 i in
+      let suffix = String.sub name (i + 1) (String.length name - i - 1) in
+      if List.mem lang Intrinsics.languages then lang_native ctx lang suffix args
+      else trap "unknown native %s" name
+  | Some _ | None -> shared_native ctx name args
+
+(* --- Core execution --- *)
+
+let eval ctx env v =
+  match v with
+  | Ir.Local l -> (
+      match Hashtbl.find_opt env l with
+      | Some rv -> rv
+      | None -> trap "use of unbound local %%%s" l)
+  | Ir.Const (Ir.Cint (_, v)) -> VInt v
+  | Ir.Const (Ir.Cfloat f) -> VFloat f
+  | Ir.Const Ir.Cnull -> VInt 0L
+  | Ir.Const (Ir.Cglobal g) -> VInt (global_addr ctx g)
+
+let exec_binop op ty a b =
+  match ty with
+  | Ir.F64 ->
+      let x = as_float a and y = as_float b in
+      let r =
+        match op with
+        | Ir.Add -> x +. y
+        | Ir.Sub -> x -. y
+        | Ir.Mul -> x *. y
+        | Ir.Sdiv -> x /. y
+        | Ir.Srem | Ir.And | Ir.Or | Ir.Xor | Ir.Shl | Ir.Lshr -> trap "bad float binop"
+      in
+      VFloat r
+  | Ir.I1 | Ir.I8 | Ir.I32 | Ir.I64 | Ir.Ptr | Ir.Void ->
+      let x = as_int a and y = as_int b in
+      let r =
+        match op with
+        | Ir.Add -> Int64.add x y
+        | Ir.Sub -> Int64.sub x y
+        | Ir.Mul -> Int64.mul x y
+        | Ir.Sdiv -> if y = 0L then trap "division by zero" else Int64.div x y
+        | Ir.Srem -> if y = 0L then trap "division by zero" else Int64.rem x y
+        | Ir.And -> Int64.logand x y
+        | Ir.Or -> Int64.logor x y
+        | Ir.Xor -> Int64.logxor x y
+        | Ir.Shl -> Int64.shift_left x (Int64.to_int y land 63)
+        | Ir.Lshr -> Int64.shift_right_logical x (Int64.to_int y land 63)
+      in
+      VInt r
+
+let exec_icmp cmp a b =
+  let x = as_int a and y = as_int b in
+  let r =
+    match cmp with
+    | Ir.Ceq -> x = y
+    | Ir.Cne -> x <> y
+    | Ir.Cslt -> x < y
+    | Ir.Csle -> x <= y
+    | Ir.Csgt -> x > y
+    | Ir.Csge -> x >= y
+  in
+  VInt (if r then 1L else 0L)
+
+let rec exec_function ctx (f : Ir.func) (args : value list) : value option =
+  if Ir.is_declaration f then trap "call to declaration-only @%s" f.Ir.fname;
+  let env : (string, value) Hashtbl.t = Hashtbl.create 32 in
+  (try List.iter2 (fun (p, _) a -> Hashtbl.replace env p a) f.Ir.params args
+   with Invalid_argument _ -> trap "arity mismatch calling @%s" f.Ir.fname);
+  let block_of label =
+    match List.find_opt (fun (b : Ir.block) -> b.Ir.label = label) f.Ir.blocks with
+    | Some b -> b
+    | None -> trap "branch to missing label %%%s in @%s" label f.Ir.fname
+  in
+  let rec run_block prev (b : Ir.block) : value option =
+    (* Phis first, evaluated against the predecessor, in parallel. *)
+    let phi_updates =
+      List.filter_map
+        (fun (i : Ir.instr) ->
+          match i with
+          | Ir.Phi { dst; incoming; _ } -> (
+              match prev with
+              | None -> trap "phi in entry block of @%s" f.Ir.fname
+              | Some pl -> (
+                  match List.assoc_opt pl (List.map (fun (v, l) -> (l, v)) incoming) with
+                  | Some v -> Some (dst, eval ctx env v)
+                  | None -> trap "phi in %%%s has no incoming for %%%s" b.Ir.label pl))
+          | _ -> None)
+        b.Ir.instrs
+    in
+    List.iter (fun (d, v) -> Hashtbl.replace env d v) phi_updates;
+    List.iter
+      (fun (i : Ir.instr) ->
+        ctx.fuel <- ctx.fuel - 1;
+        ctx.stats.steps <- ctx.stats.steps + 1;
+        if ctx.fuel <= 0 then trap "out of fuel";
+        match i with
+        | Ir.Phi _ -> ()
+        | Ir.Binop { dst; op; ty; lhs; rhs } ->
+            Hashtbl.replace env dst (exec_binop op ty (eval ctx env lhs) (eval ctx env rhs))
+        | Ir.Icmp { dst; cmp; lhs; rhs; _ } ->
+            Hashtbl.replace env dst (exec_icmp cmp (eval ctx env lhs) (eval ctx env rhs))
+        | Ir.Alloca { dst; bytes } ->
+            Hashtbl.replace env dst (VInt (Mem.alloc ctx.mem (Int64.to_int (as_int (eval ctx env bytes)))))
+        | Ir.Load { dst; ty; ptr } ->
+            let p = as_int (eval ctx env ptr) in
+            let v =
+              match ty with
+              | Ir.I8 -> VInt (Int64.of_int (Mem.load_byte ctx.mem p))
+              | Ir.I1 -> VInt (Int64.of_int (Mem.load_byte ctx.mem p land 1))
+              | Ir.I32 | Ir.I64 | Ir.Ptr -> VInt (Mem.load_i64 ctx.mem p)
+              | Ir.F64 -> VFloat (Int64.float_of_bits (Mem.load_i64 ctx.mem p))
+              | Ir.Void -> trap "load void"
+            in
+            Hashtbl.replace env dst v
+        | Ir.Store { ty; src; ptr } -> (
+            let p = as_int (eval ctx env ptr) in
+            let v = eval ctx env src in
+            match ty with
+            | Ir.I8 | Ir.I1 -> Mem.store_byte ctx.mem p (Int64.to_int (as_int v) land 0xff)
+            | Ir.I32 | Ir.I64 | Ir.Ptr -> Mem.store_i64 ctx.mem p (as_int v)
+            | Ir.F64 -> Mem.store_i64 ctx.mem p (Int64.bits_of_float (as_float v))
+            | Ir.Void -> trap "store void")
+        | Ir.Gep { dst; base; offset } ->
+            let b = as_int (eval ctx env base) in
+            let o = Int64.to_int (as_int (eval ctx env offset)) in
+            Hashtbl.replace env dst (VInt (Mem.offset b o))
+        | Ir.Select { dst; cond; if_true; if_false; _ } ->
+            let c = as_int (eval ctx env cond) in
+            Hashtbl.replace env dst (eval ctx env (if c <> 0L then if_true else if_false))
+        | Ir.Call { dst; callee; args; _ } -> (
+            let argv = List.map (fun (_, v) -> eval ctx env v) args in
+            let result =
+              match Ir.find_func ctx.m callee with
+              | Some target when not (Ir.is_declaration target) ->
+                  Hashtbl.replace ctx.stats.calls callee
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt ctx.stats.calls callee));
+                  exec_function ctx target argv
+              | Some _ | None ->
+                  if Intrinsics.mem callee then native ctx callee argv
+                  else trap "call to unresolved symbol @%s" callee
+            in
+            match dst with
+            | Some d -> (
+                match result with
+                | Some v -> Hashtbl.replace env d v
+                | None -> trap "void call used as value (@%s)" callee)
+            | None -> ()))
+      b.Ir.instrs;
+    ctx.fuel <- ctx.fuel - 1;
+    match b.Ir.term with
+    | Ir.Ret None -> None
+    | Ir.Ret (Some (_, v)) -> Some (eval ctx env v)
+    | Ir.Br l -> run_block (Some b.Ir.label) (block_of l)
+    | Ir.Cbr { cond; if_true; if_false } ->
+        let c = as_int (eval ctx env cond) in
+        run_block (Some b.Ir.label) (block_of (if c <> 0L then if_true else if_false))
+    | Ir.Unreachable -> trap "reached unreachable in @%s" f.Ir.fname
+  in
+  match f.Ir.blocks with
+  | entry :: _ -> run_block None entry
+  | [] -> trap "empty function @%s" f.Ir.fname
+
+let make_ctx ?(fuel = 20_000_000) ~host m =
+  let ctx =
+    {
+      m;
+      mem = Mem.create ();
+      stats = new_stats ();
+      host;
+      globals = Hashtbl.create 64;
+      fuel;
+      req_ptr = 0L;
+      response = None;
+    }
+  in
+  materialize_globals ctx;
+  ctx
+
+let find_defined m fname =
+  match Ir.find_func m fname with
+  | Some f when not (Ir.is_declaration f) -> f
+  | Some _ -> trap "@%s is only declared" fname
+  | None -> trap "no function @%s" fname
+
+let run_handler ?fuel ~host m ~fname ~req =
+  try
+    let ctx = make_ctx ?fuel ~host m in
+    let f = find_defined m fname in
+    ctx.req_ptr <- Mem.write_cstr ctx.mem req;
+    let _ = exec_function ctx f [] in
+    match ctx.response with
+    | Some res -> Ok (res, ctx.stats)
+    | None -> Error "handler returned without calling quilt_send_res"
+  with
+  | Trap msg -> Error msg
+  | Mem.Trap msg -> Error ("memory fault: " ^ msg)
+
+let run_local ?fuel ~host m ~fname ~req =
+  try
+    let ctx = make_ctx ?fuel ~host m in
+    let f = find_defined m fname in
+    let reqp = Mem.write_cstr ctx.mem req in
+    match exec_function ctx f [ VInt reqp ] with
+    | Some (VInt resp) -> Ok (Mem.read_cstr ctx.mem resp, ctx.stats)
+    | Some (VFloat _) | None -> Error "local function did not return a pointer"
+  with
+  | Trap msg -> Error msg
+  | Mem.Trap msg -> Error ("memory fault: " ^ msg)

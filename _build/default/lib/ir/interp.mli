@@ -1,0 +1,61 @@
+(** QIR interpreter.
+
+    Executes modules so tests can check that a merged workflow computes
+    byte-for-byte the same responses as the original one, that conditional
+    invocations fall back to remote calls at the right counts, and that
+    DelayHTTP really avoids loading the HTTP stack on local-only runs.
+
+    The embedder supplies a {!host} whose [invoke] implements what the
+    serverless platform would do with a remote invocation (route it to some
+    other function).  Work-model intrinsics ([quilt_burn_cpu] etc.) are
+    accumulated in {!stats} rather than actually burning time. *)
+
+exception Trap of string
+
+type stats = {
+  mutable steps : int;  (** Instructions executed. *)
+  mutable cpu_us : float;  (** Σ of [quilt_burn_cpu]. *)
+  mutable io_us : float;  (** Σ of [quilt_sleep_io]. *)
+  mutable peak_mem_mb : float;  (** Max of [quilt_use_mem]. *)
+  mutable remote_sync : (string * string) list;  (** (callee, request), reverse order. *)
+  mutable remote_async : (string * string) list;
+  mutable curl_loaded : bool;  (** Did the HTTP stack get initialised? *)
+  mutable curl_loaded_eagerly : bool;  (** ... by the eager pre-main path? *)
+  calls : (string, int) Hashtbl.t;  (** Per-callee counts of direct IR calls. *)
+  billing : (string, int) Hashtbl.t;
+      (** Per-original-function execution counts from {!Pass_billing}'s
+          instrumentation (§8). *)
+}
+
+val new_stats : unit -> stats
+
+type host = { invoke : kind:[ `Sync | `Async ] -> name:string -> req:string -> string }
+
+val null_host : host
+(** A host whose remote invocations trap; for merged modules expected to run
+    fully locally. *)
+
+val echo_host : host
+(** Responds to any invocation with [{"echo":<callee>,"req":<req>}];
+    handy in unit tests. *)
+
+val run_handler :
+  ?fuel:int ->
+  host:host ->
+  Ir.modul ->
+  fname:string ->
+  req:string ->
+  (string * stats, string) result
+(** Runs a handler-convention function ([void f()] that calls
+    [quilt_get_req] / [quilt_send_res]).  Returns the response sent, or an
+    error describing the trap.  [fuel] bounds executed instructions
+    (default 20 million). *)
+
+val run_local :
+  ?fuel:int ->
+  host:host ->
+  Ir.modul ->
+  fname:string ->
+  req:string ->
+  (string * stats, string) result
+(** Runs a merged local-convention function ([ptr f(ptr)] over C strings). *)

@@ -1,0 +1,608 @@
+exception Error of int * string
+
+type token =
+  | Tident of string  (* keywords, mnemonics, type names *)
+  | Tglobal of string  (* @name *)
+  | Tlocal of string  (* %name *)
+  | Tint of int64
+  | Tfloat of float
+  | Tstring of string
+  | Tpunct of char  (* = , ( ) { } [ ] : *)
+  | Tnewline
+  | Teof
+
+type lexer = { src : string; mutable pos : int; mutable line : int }
+
+let fail lx msg = raise (Error (lx.line, msg))
+
+let is_ident_char c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' -> true | _ -> false
+
+let read_ident lx =
+  let start = lx.pos in
+  while lx.pos < String.length lx.src && is_ident_char lx.src.[lx.pos] do
+    lx.pos <- lx.pos + 1
+  done;
+  String.sub lx.src start (lx.pos - start)
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+let read_string lx =
+  (* Opening quote consumed. *)
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if lx.pos >= String.length lx.src then fail lx "unterminated string"
+    else begin
+      let c = lx.src.[lx.pos] in
+      lx.pos <- lx.pos + 1;
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        if lx.pos + 1 >= String.length lx.src then fail lx "bad escape";
+        let h1 = hex_val lx.src.[lx.pos] and h2 = hex_val lx.src.[lx.pos + 1] in
+        if h1 < 0 || h2 < 0 then fail lx "bad hex escape";
+        Buffer.add_char buf (Char.chr ((h1 * 16) + h2));
+        lx.pos <- lx.pos + 2;
+        loop ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let read_number lx =
+  let start = lx.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'x' | 'p' | 'a' .. 'f' | 'A' .. 'F' -> true
+    | _ -> false
+  in
+  (* A leading '-' was already included by the caller when present. *)
+  while lx.pos < String.length lx.src && is_num_char lx.src.[lx.pos] do
+    lx.pos <- lx.pos + 1
+  done;
+  let text = String.sub lx.src start (lx.pos - start) in
+  match Int64.of_string_opt text with
+  | Some v -> Tint v
+  | None -> (
+      match float_of_string_opt text with
+      | Some f -> Tfloat f
+      | None -> fail lx (Printf.sprintf "bad number %S" text))
+
+let rec next_token lx =
+  if lx.pos >= String.length lx.src then Teof
+  else begin
+    let c = lx.src.[lx.pos] in
+    match c with
+    | ' ' | '\t' | '\r' ->
+        lx.pos <- lx.pos + 1;
+        next_token lx
+    | '\n' ->
+        lx.pos <- lx.pos + 1;
+        lx.line <- lx.line + 1;
+        Tnewline
+    | ';' ->
+        (* Comment to end of line. *)
+        while lx.pos < String.length lx.src && lx.src.[lx.pos] <> '\n' do
+          lx.pos <- lx.pos + 1
+        done;
+        next_token lx
+    | '@' ->
+        lx.pos <- lx.pos + 1;
+        Tglobal (read_ident lx)
+    | '%' ->
+        lx.pos <- lx.pos + 1;
+        Tlocal (read_ident lx)
+    | '"' ->
+        lx.pos <- lx.pos + 1;
+        Tstring (read_string lx)
+    | '=' | ',' | '(' | ')' | '{' | '}' | '[' | ']' | ':' ->
+        lx.pos <- lx.pos + 1;
+        Tpunct c
+    | '0' .. '9' -> read_number lx
+    | '-' ->
+        lx.pos <- lx.pos + 1;
+        (match read_number lx with
+        | Tint v -> Tint (Int64.neg v)
+        | Tfloat f -> Tfloat (-.f)
+        | _ -> fail lx "bad number")
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' -> Tident (read_ident lx)
+    | _ -> fail lx (Printf.sprintf "unexpected character %C" c)
+  end
+
+(* --- Parser state: a one-token lookahead over the lexer. --- *)
+
+type parser_state = { lx : lexer; mutable tok : token }
+
+let advance st = st.tok <- next_token st.lx
+
+let skip_newlines st =
+  while st.tok = Tnewline do
+    advance st
+  done
+
+let expect_punct st c =
+  match st.tok with
+  | Tpunct c' when c = c' -> advance st
+  | _ -> fail st.lx (Printf.sprintf "expected %C" c)
+
+let expect_ident st kw =
+  match st.tok with
+  | Tident i when i = kw -> advance st
+  | _ -> fail st.lx (Printf.sprintf "expected %S" kw)
+
+let ty_of_string st = function
+  | "i1" -> Ir.I1
+  | "i8" -> Ir.I8
+  | "i32" -> Ir.I32
+  | "i64" -> Ir.I64
+  | "f64" -> Ir.F64
+  | "ptr" -> Ir.Ptr
+  | "void" -> Ir.Void
+  | s -> fail st.lx (Printf.sprintf "unknown type %S" s)
+
+let parse_ty st =
+  match st.tok with
+  | Tident i ->
+      let ty = ty_of_string st i in
+      advance st;
+      ty
+  | _ -> fail st.lx "expected type"
+
+(* Operand in a context where the type is known. *)
+let parse_operand st ty =
+  match st.tok with
+  | Tlocal l ->
+      advance st;
+      Ir.Local l
+  | Tglobal g ->
+      advance st;
+      Ir.Const (Ir.Cglobal g)
+  | Tint v ->
+      advance st;
+      if ty = Ir.F64 then Ir.Const (Ir.Cfloat (Int64.to_float v)) else Ir.Const (Ir.Cint (ty, v))
+  | Tfloat f ->
+      advance st;
+      Ir.Const (Ir.Cfloat f)
+  | Tident "null" ->
+      advance st;
+      Ir.Const Ir.Cnull
+  | _ -> fail st.lx "expected operand"
+
+let binop_of_string = function
+  | "add" -> Some Ir.Add
+  | "sub" -> Some Ir.Sub
+  | "mul" -> Some Ir.Mul
+  | "sdiv" -> Some Ir.Sdiv
+  | "srem" -> Some Ir.Srem
+  | "and" -> Some Ir.And
+  | "or" -> Some Ir.Or
+  | "xor" -> Some Ir.Xor
+  | "shl" -> Some Ir.Shl
+  | "lshr" -> Some Ir.Lshr
+  | _ -> None
+
+let cmp_of_string st = function
+  | "eq" -> Ir.Ceq
+  | "ne" -> Ir.Cne
+  | "slt" -> Ir.Cslt
+  | "sle" -> Ir.Csle
+  | "sgt" -> Ir.Csgt
+  | "sge" -> Ir.Csge
+  | s -> fail st.lx (Printf.sprintf "unknown comparison %S" s)
+
+let parse_call st dst =
+  (* 'call' consumed. *)
+  let ret = parse_ty st in
+  let callee =
+    match st.tok with
+    | Tglobal g ->
+        advance st;
+        g
+    | _ -> fail st.lx "expected callee @name"
+  in
+  expect_punct st '(';
+  let args = ref [] in
+  (match st.tok with
+  | Tpunct ')' -> advance st
+  | _ ->
+      let rec loop () =
+        let ty = parse_ty st in
+        let v = parse_operand st ty in
+        args := (ty, v) :: !args;
+        match st.tok with
+        | Tpunct ',' ->
+            advance st;
+            loop ()
+        | Tpunct ')' -> advance st
+        | _ -> fail st.lx "expected , or ) in call args"
+      in
+      loop ());
+  Ir.Call { dst; ret; callee; args = List.rev !args }
+
+(* An instruction starting with '%dst =' ; the '=' has been consumed. *)
+let parse_rhs st dst =
+  match st.tok with
+  | Tident "call" ->
+      advance st;
+      parse_call st (Some dst)
+  | Tident "icmp" ->
+      advance st;
+      let cmp =
+        match st.tok with
+        | Tident c ->
+            advance st;
+            cmp_of_string st c
+        | _ -> fail st.lx "expected comparison"
+      in
+      let ty = parse_ty st in
+      let lhs = parse_operand st ty in
+      expect_punct st ',';
+      let rhs = parse_operand st ty in
+      Ir.Icmp { dst; cmp; ty; lhs; rhs }
+  | Tident "alloca" ->
+      advance st;
+      expect_ident st "i64";
+      let bytes = parse_operand st Ir.I64 in
+      Ir.Alloca { dst; bytes }
+  | Tident "load" ->
+      advance st;
+      let ty = parse_ty st in
+      expect_punct st ',';
+      expect_ident st "ptr";
+      let ptr = parse_operand st Ir.Ptr in
+      Ir.Load { dst; ty; ptr }
+  | Tident "gep" ->
+      advance st;
+      expect_ident st "ptr";
+      let base = parse_operand st Ir.Ptr in
+      expect_punct st ',';
+      expect_ident st "i64";
+      let offset = parse_operand st Ir.I64 in
+      Ir.Gep { dst; base; offset }
+  | Tident "phi" ->
+      advance st;
+      let ty = parse_ty st in
+      let incoming = ref [] in
+      let rec loop () =
+        expect_punct st '[';
+        let v = parse_operand st ty in
+        expect_punct st ',';
+        let label = match st.tok with
+          | Tlocal l ->
+              advance st;
+              l
+          | _ -> fail st.lx "expected %label in phi"
+        in
+        expect_punct st ']';
+        incoming := (v, label) :: !incoming;
+        match st.tok with
+        | Tpunct ',' ->
+            advance st;
+            loop ()
+        | _ -> ()
+      in
+      loop ();
+      Ir.Phi { dst; ty; incoming = List.rev !incoming }
+  | Tident "select" ->
+      advance st;
+      expect_ident st "i1";
+      let cond = parse_operand st Ir.I1 in
+      expect_punct st ',';
+      let ty = parse_ty st in
+      let if_true = parse_operand st ty in
+      expect_punct st ',';
+      let if_false = parse_operand st ty in
+      Ir.Select { dst; ty; cond; if_true; if_false }
+  | Tident mnemonic -> (
+      match binop_of_string mnemonic with
+      | Some op ->
+          advance st;
+          let ty = parse_ty st in
+          let lhs = parse_operand st ty in
+          expect_punct st ',';
+          let rhs = parse_operand st ty in
+          Ir.Binop { dst; op; ty; lhs; rhs }
+      | None -> fail st.lx (Printf.sprintf "unknown instruction %S" mnemonic))
+  | _ -> fail st.lx "expected instruction"
+
+(* A statement inside a function body: label, instruction, or terminator.
+   Returns which. *)
+type stmt = Slabel of string | Sinstr of Ir.instr | Sterm of Ir.terminator | Sclose
+
+let parse_stmt st =
+  skip_newlines st;
+  match st.tok with
+  | Tpunct '}' ->
+      advance st;
+      Sclose
+  | Tlocal name -> (
+      advance st;
+      match st.tok with
+      | Tpunct '=' ->
+          advance st;
+          Sinstr (parse_rhs st name)
+      | _ -> fail st.lx "expected = after %name")
+  | Tident label_or_mnemonic -> (
+      advance st;
+      match label_or_mnemonic, st.tok with
+      | _, Tpunct ':' ->
+          advance st;
+          Slabel label_or_mnemonic
+      | "call", _ -> Sinstr (parse_call st None)
+      | "store", _ ->
+          let ty = parse_ty st in
+          let src = parse_operand st ty in
+          expect_punct st ',';
+          expect_ident st "ptr";
+          let ptr = parse_operand st Ir.Ptr in
+          Sinstr (Ir.Store { ty; src; ptr })
+      | "ret", Tident "void" ->
+          advance st;
+          Sterm (Ir.Ret None)
+      | "ret", _ ->
+          let ty = parse_ty st in
+          let v = parse_operand st ty in
+          Sterm (Ir.Ret (Some (ty, v)))
+      | "br", _ ->
+          expect_ident st "label";
+          (match st.tok with
+          | Tlocal l ->
+              advance st;
+              Sterm (Ir.Br l)
+          | _ -> fail st.lx "expected %label")
+      | "cbr", _ ->
+          expect_ident st "i1";
+          let cond = parse_operand st Ir.I1 in
+          expect_punct st ',';
+          expect_ident st "label";
+          let if_true =
+            match st.tok with
+            | Tlocal l ->
+                advance st;
+                l
+            | _ -> fail st.lx "expected %label"
+          in
+          expect_punct st ',';
+          expect_ident st "label";
+          let if_false =
+            match st.tok with
+            | Tlocal l ->
+                advance st;
+                l
+            | _ -> fail st.lx "expected %label"
+          in
+          Sterm (Ir.Cbr { cond; if_true; if_false })
+      | "unreachable", _ -> Sterm Ir.Unreachable
+      | other, _ -> fail st.lx (Printf.sprintf "unexpected statement %S" other))
+  | _ -> fail st.lx "expected statement"
+
+let parse_params st =
+  expect_punct st '(';
+  let params = ref [] in
+  (match st.tok with
+  | Tpunct ')' -> advance st
+  | _ ->
+      let rec loop () =
+        let ty = parse_ty st in
+        (match st.tok with
+        | Tlocal p ->
+            advance st;
+            params := (p, ty) :: !params
+        | _ -> fail st.lx "expected %param");
+        match st.tok with
+        | Tpunct ',' ->
+            advance st;
+            loop ()
+        | Tpunct ')' -> advance st
+        | _ -> fail st.lx "expected , or )"
+      in
+      loop ());
+  List.rev !params
+
+let parse_lang st =
+  match st.tok with
+  | Tident "lang" -> (
+      advance st;
+      match st.tok with
+      | Tstring s ->
+          advance st;
+          Some s
+      | _ -> fail st.lx "expected language string")
+  | _ -> None
+
+let parse_body st =
+  let blocks = ref [] in
+  let current_label = ref None in
+  let current_instrs = ref [] in
+  let finish term =
+    match !current_label with
+    | None -> fail st.lx "terminator before any block label"
+    | Some label ->
+        blocks := { Ir.label; instrs = List.rev !current_instrs; term } :: !blocks;
+        current_label := None;
+        current_instrs := []
+  in
+  let rec loop () =
+    match parse_stmt st with
+    | Sclose ->
+        if !current_label <> None then fail st.lx "block missing terminator";
+        List.rev !blocks
+    | Slabel l ->
+        if !current_label <> None then fail st.lx "block missing terminator";
+        current_label := Some l;
+        loop ()
+    | Sinstr i ->
+        if !current_label = None then fail st.lx "instruction outside a block";
+        current_instrs := i :: !current_instrs;
+        loop ()
+    | Sterm t ->
+        finish t;
+        loop ()
+  in
+  loop ()
+
+let parse_define st =
+  (* 'define' consumed. *)
+  let linkage =
+    match st.tok with
+    | Tident "internal" ->
+        advance st;
+        Ir.Internal
+    | _ -> Ir.External
+  in
+  let ret_ty = parse_ty st in
+  let fname =
+    match st.tok with
+    | Tglobal g ->
+        advance st;
+        g
+    | _ -> fail st.lx "expected @name"
+  in
+  let params = parse_params st in
+  let lang = parse_lang st in
+  expect_punct st '{';
+  let blocks = parse_body st in
+  { Ir.fname; params; ret_ty; blocks; linkage; lang }
+
+let parse_declare st =
+  let ret_ty = parse_ty st in
+  let fname =
+    match st.tok with
+    | Tglobal g ->
+        advance st;
+        g
+    | _ -> fail st.lx "expected @name"
+  in
+  (* Declarations may omit parameter names. *)
+  expect_punct st '(';
+  let params = ref [] in
+  let count = ref 0 in
+  (match st.tok with
+  | Tpunct ')' -> advance st
+  | _ ->
+      let rec loop () =
+        let ty = parse_ty st in
+        let name =
+          match st.tok with
+          | Tlocal p ->
+              advance st;
+              p
+          | _ ->
+              incr count;
+              Printf.sprintf "arg%d" !count
+        in
+        params := (name, ty) :: !params;
+        match st.tok with
+        | Tpunct ',' ->
+            advance st;
+            loop ()
+        | Tpunct ')' -> advance st
+        | _ -> fail st.lx "expected , or )"
+      in
+      loop ());
+  let lang = parse_lang st in
+  { Ir.fname; params = List.rev !params; ret_ty; blocks = []; linkage = Ir.External; lang }
+
+let parse_global_def st gname =
+  (* '@name' consumed; expect '= (constant|global) init [lang]'. *)
+  expect_punct st '=';
+  let gconst =
+    match st.tok with
+    | Tident "constant" ->
+        advance st;
+        true
+    | Tident "global" ->
+        advance st;
+        false
+    | _ -> fail st.lx "expected constant or global"
+  in
+  let ginit =
+    match st.tok with
+    | Tident "str" -> (
+        advance st;
+        match st.tok with
+        | Tstring s ->
+            advance st;
+            Ir.Gstr s
+        | _ -> fail st.lx "expected string literal")
+    | Tident "zero" -> (
+        advance st;
+        match st.tok with
+        | Tint n ->
+            advance st;
+            Ir.Gzero (Int64.to_int n)
+        | _ -> fail st.lx "expected size")
+    | Tident "i64" -> (
+        advance st;
+        match st.tok with
+        | Tint v ->
+            advance st;
+            Ir.Gint64 v
+        | _ -> fail st.lx "expected integer")
+    | _ -> fail st.lx "expected global initializer"
+  in
+  let glang = parse_lang st in
+  { Ir.gname; ginit; gconst; glang }
+
+let parse_module_state st =
+  skip_newlines st;
+  let mname =
+    match st.tok with
+    | Tident "module" -> (
+        advance st;
+        match st.tok with
+        | Tstring s ->
+            advance st;
+            s
+        | _ -> fail st.lx "expected module name string")
+    | _ -> "anonymous"
+  in
+  let globals = ref [] and funcs = ref [] in
+  let rec loop () =
+    skip_newlines st;
+    match st.tok with
+    | Teof -> ()
+    | Tglobal g ->
+        advance st;
+        globals := parse_global_def st g :: !globals;
+        loop ()
+    | Tident "define" ->
+        advance st;
+        funcs := parse_define st :: !funcs;
+        loop ()
+    | Tident "declare" ->
+        advance st;
+        funcs := parse_declare st :: !funcs;
+        loop ()
+    | _ -> fail st.lx "expected top-level definition"
+  in
+  loop ();
+  { Ir.mname; globals = List.rev !globals; funcs = List.rev !funcs }
+
+let make_state src =
+  let lx = { src; pos = 0; line = 1 } in
+  let st = { lx; tok = Teof } in
+  st.tok <- next_token lx;
+  st
+
+let parse_module src = parse_module_state (make_state src)
+
+let parse_func src =
+  let st = make_state src in
+  skip_newlines st;
+  match st.tok with
+  | Tident "define" ->
+      advance st;
+      parse_define st
+  | Tident "declare" ->
+      advance st;
+      parse_declare st
+  | _ -> fail st.lx "expected define or declare"

@@ -1,0 +1,13 @@
+(** Parser for the textual QIR format produced by {!Pp}.
+
+    Quilt's pipeline exchanges modules as text between stages (the analogue
+    of LLVM bitcode files on disk), so the parser is exercised on every
+    merge.  Errors carry a line number and a message. *)
+
+exception Error of int * string
+(** (line, message). *)
+
+val parse_module : string -> Ir.modul
+
+val parse_func : string -> Ir.func
+(** Parses a single [define]/[declare]; convenient in tests. *)

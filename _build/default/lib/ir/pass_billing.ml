@@ -1,0 +1,43 @@
+let is_app_function (f : Ir.func) =
+  (not (Ir.is_declaration f))
+  && (Filename.check_suffix f.Ir.fname "__handler" || Filename.check_suffix f.Ir.fname "__local")
+
+let service_of_symbol fname =
+  if Filename.check_suffix fname "__handler" then Filename.chop_suffix fname "__handler"
+  else if Filename.check_suffix fname "__local" then Filename.chop_suffix fname "__local"
+  else fname
+
+let run (m : Ir.modul) =
+  let to_instrument = List.filter is_app_function m.Ir.funcs in
+  let m = ref m in
+  List.iter
+    (fun (f : Ir.func) ->
+      let service = service_of_symbol f.Ir.fname in
+      let gname = "bill." ^ service in
+      if Ir.find_global !m gname = None then
+        m := Ir.add_global !m { Ir.gname; ginit = Ir.Gstr service; gconst = true; glang = None };
+      let tick =
+        Ir.Call
+          {
+            dst = None;
+            ret = Ir.Void;
+            callee = "quilt_bill";
+            args = [ (Ir.Ptr, Ir.Const (Ir.Cglobal gname)) ];
+          }
+      in
+      let f' =
+        match f.Ir.blocks with
+        | entry :: rest -> { f with Ir.blocks = { entry with Ir.instrs = tick :: entry.Ir.instrs } :: rest }
+        | [] -> f
+      in
+      m := Ir.replace_func !m f')
+    to_instrument;
+  !m
+
+let billed_functions (m : Ir.modul) =
+  List.filter_map
+    (fun (g : Ir.global) ->
+      if String.length g.Ir.gname > 5 && String.sub g.Ir.gname 0 5 = "bill." then
+        Ir.string_global m g.Ir.gname
+      else None)
+    m.Ir.globals

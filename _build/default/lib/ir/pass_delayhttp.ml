@@ -1,0 +1,17 @@
+let init_once = Ir.Call { dst = None; ret = Ir.Void; callee = "quilt_curl_init_once"; args = [] }
+
+let rewrite (i : Ir.instr) =
+  match i with
+  | Ir.Call { callee = "quilt_curl_global_init"; _ } -> []
+  | Ir.Call { callee = "quilt_sync_inv" | "quilt_async_inv"; _ } -> [ init_once; i ]
+  | _ -> [ i ]
+
+let run (m : Ir.modul) = Ir.map_funcs (Ir.map_instrs rewrite) m
+
+let eager_init_count (m : Ir.modul) =
+  let count = ref 0 in
+  Ir.iter_calls m (fun ~caller:_ i ->
+      match i with
+      | Ir.Call { callee = "quilt_curl_global_init"; _ } -> incr count
+      | _ -> ());
+  !count

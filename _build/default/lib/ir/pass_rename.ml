@@ -1,0 +1,61 @@
+let rename_value map v =
+  match v with
+  | Ir.Const (Ir.Cglobal g) -> (
+      match map g with Some g' -> Ir.Const (Ir.Cglobal g') | None -> v)
+  | Ir.Const (Ir.Cint _ | Ir.Cfloat _ | Ir.Cnull) | Ir.Local _ -> v
+
+let rename_instr map (i : Ir.instr) =
+  let v = rename_value map in
+  match i with
+  | Ir.Binop b -> Ir.Binop { b with lhs = v b.lhs; rhs = v b.rhs }
+  | Ir.Icmp c -> Ir.Icmp { c with lhs = v c.lhs; rhs = v c.rhs }
+  | Ir.Call c ->
+      let callee = match map c.callee with Some n -> n | None -> c.callee in
+      Ir.Call { c with callee; args = List.map (fun (ty, a) -> (ty, v a)) c.args }
+  | Ir.Alloca a -> Ir.Alloca { a with bytes = v a.bytes }
+  | Ir.Load l -> Ir.Load { l with ptr = v l.ptr }
+  | Ir.Store s -> Ir.Store { s with src = v s.src; ptr = v s.ptr }
+  | Ir.Gep g -> Ir.Gep { g with base = v g.base; offset = v g.offset }
+  | Ir.Phi p -> Ir.Phi { p with incoming = List.map (fun (iv, l) -> (v iv, l)) p.incoming }
+  | Ir.Select s ->
+      Ir.Select { s with cond = v s.cond; if_true = v s.if_true; if_false = v s.if_false }
+
+let rename_symbols ~map (m : Ir.modul) =
+  let funcs =
+    List.map
+      (fun (f : Ir.func) ->
+        let fname = match map f.Ir.fname with Some n -> n | None -> f.Ir.fname in
+        let blocks =
+          List.map
+            (fun (b : Ir.block) -> { b with Ir.instrs = List.map (rename_instr map) b.Ir.instrs })
+            f.Ir.blocks
+        in
+        { f with Ir.fname; blocks })
+      m.Ir.funcs
+  in
+  let globals =
+    List.map
+      (fun (g : Ir.global) ->
+        match map g.Ir.gname with Some n -> { g with Ir.gname = n } | None -> g)
+      m.Ir.globals
+  in
+  { m with Ir.funcs; globals }
+
+let avoid_collisions ~against ~keep (m : Ir.modul) =
+  let table = Hashtbl.create 16 in
+  let collides name = Ir.find_func against name <> None || Ir.find_global against name <> None in
+  let note name =
+    if (not (keep name)) && collides name && not (Hashtbl.mem table name) then begin
+      let renamed = Ir.fresh_name ~prefix:(name ^ ".q") against in
+      (* Also avoid names used inside this module. *)
+      let rec uniquify cand i =
+        if Ir.find_func m cand <> None || Ir.find_global m cand <> None then
+          uniquify (Printf.sprintf "%s.q%d" name i) (i + 1)
+        else cand
+      in
+      Hashtbl.replace table name (uniquify renamed 1)
+    end
+  in
+  List.iter (fun (f : Ir.func) -> if not (Ir.is_declaration f) then note f.Ir.fname) m.Ir.funcs;
+  List.iter (fun (g : Ir.global) -> note g.Ir.gname) m.Ir.globals;
+  rename_symbols ~map:(Hashtbl.find_opt table) m

@@ -1,0 +1,16 @@
+(** Scalar simplification: constant folding, copy propagation, and
+    dead-instruction elimination.
+
+    Part of the pipeline's "variety of optimizations" (§1.1): after merging,
+    the IR carries identity pointer adjustments (the [gep ptr %x, 0] aliases
+    that {!Pass_mergefunc.localize_handler} substitutes for [quilt_get_req])
+    and foldable arithmetic; this pass cleans them up, shrinking the binary
+    the size model sees and the work the interpreter does.
+
+    Semantics-preserving by construction: only pure instructions are folded
+    or removed (never calls, stores, or loads). *)
+
+val run : Ir.modul -> Ir.modul
+(** Iterates folding + dead-code removal per function to a fixpoint. *)
+
+val run_func : Ir.func -> Ir.func

@@ -1,0 +1,146 @@
+type diagnostic = { where : string; message : string }
+
+let diag where fmt = Printf.ksprintf (fun message -> { where; message }) fmt
+
+let check_func (m : Ir.modul) (f : Ir.func) =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  let where = f.Ir.fname in
+  let labels = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.block) ->
+      if Hashtbl.mem labels b.Ir.label then add (diag where "duplicate label %%%s" b.Ir.label);
+      Hashtbl.replace labels b.Ir.label ())
+    f.Ir.blocks;
+  let locals = Hashtbl.create 32 in
+  List.iter (fun (p, _) -> Hashtbl.replace locals p ()) f.Ir.params;
+  (* First pass: collect all defined locals (QIR is unordered-SSA: a local
+     may be used by a phi in an earlier block). *)
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          let dst =
+            match i with
+            | Ir.Binop { dst; _ }
+            | Ir.Icmp { dst; _ }
+            | Ir.Alloca { dst; _ }
+            | Ir.Load { dst; _ }
+            | Ir.Gep { dst; _ }
+            | Ir.Phi { dst; _ }
+            | Ir.Select { dst; _ } ->
+                Some dst
+            | Ir.Call { dst; _ } -> dst
+            | Ir.Store _ -> None
+          in
+          match dst with
+          | Some d ->
+              if Hashtbl.mem locals d then add (diag where "local %%%s defined twice" d);
+              Hashtbl.replace locals d ()
+          | None -> ())
+        b.Ir.instrs)
+    f.Ir.blocks;
+  let check_value v =
+    match v with
+    | Ir.Local l -> if not (Hashtbl.mem locals l) then add (diag where "use of undefined local %%%s" l)
+    | Ir.Const (Ir.Cglobal g) ->
+        if Ir.find_global m g = None && Ir.find_func m g = None then
+          add (diag where "reference to undefined global @%s" g)
+    | Ir.Const (Ir.Cint _ | Ir.Cfloat _ | Ir.Cnull) -> ()
+  in
+  let check_label l =
+    if not (Hashtbl.mem labels l) then add (diag where "branch to undefined label %%%s" l)
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun (i : Ir.instr) ->
+          match i with
+          | Ir.Binop { lhs; rhs; _ } | Ir.Icmp { lhs; rhs; _ } ->
+              check_value lhs;
+              check_value rhs
+          | Ir.Call { callee; args; ret; _ } ->
+              List.iter (fun (_, v) -> check_value v) args;
+              let known_sig =
+                match Ir.find_func m callee with
+                | Some target ->
+                    Some (List.map snd target.Ir.params, target.Ir.ret_ty)
+                | None -> Intrinsics.signature callee
+              in
+              (match known_sig with
+              | None -> add (diag where "call to unknown function @%s" callee)
+              | Some (ptys, rty) ->
+                  if List.length ptys <> List.length args then
+                    add (diag where "call to @%s with %d args, expected %d" callee (List.length args)
+                           (List.length ptys))
+                  else
+                    List.iter2
+                      (fun expected (got, _) ->
+                        if expected <> got then
+                          add (diag where "call to @%s argument type mismatch" callee))
+                      ptys args;
+                  if rty <> ret then add (diag where "call to @%s return type mismatch" callee))
+          | Ir.Alloca { bytes; _ } -> check_value bytes
+          | Ir.Load { ptr; _ } -> check_value ptr
+          | Ir.Store { src; ptr; _ } ->
+              check_value src;
+              check_value ptr
+          | Ir.Gep { base; offset; _ } ->
+              check_value base;
+              check_value offset
+          | Ir.Phi { incoming; _ } ->
+              List.iter
+                (fun (v, l) ->
+                  check_value v;
+                  check_label l)
+                incoming
+          | Ir.Select { cond; if_true; if_false; _ } ->
+              check_value cond;
+              check_value if_true;
+              check_value if_false)
+        b.Ir.instrs;
+      match b.Ir.term with
+      | Ir.Ret None ->
+          if f.Ir.ret_ty <> Ir.Void then add (diag where "ret void in non-void function")
+      | Ir.Ret (Some (ty, v)) ->
+          check_value v;
+          if ty <> f.Ir.ret_ty then add (diag where "ret type mismatch")
+      | Ir.Br l -> check_label l
+      | Ir.Cbr { cond; if_true; if_false } ->
+          check_value cond;
+          check_label if_true;
+          check_label if_false
+      | Ir.Unreachable -> ())
+    f.Ir.blocks;
+  if f.Ir.blocks <> [] then begin
+    match f.Ir.blocks with
+    | { Ir.label = "entry"; _ } :: _ -> ()
+    | { Ir.label = l; _ } :: _ -> add (diag where "first block must be entry, found %%%s" l)
+    | [] -> ()
+  end;
+  List.rev !out
+
+let run (m : Ir.modul) =
+  let out = ref [] in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Ir.func) ->
+      if Hashtbl.mem seen f.Ir.fname then
+        out := diag "module" "duplicate symbol @%s" f.Ir.fname :: !out;
+      Hashtbl.replace seen f.Ir.fname ())
+    m.Ir.funcs;
+  let gseen = Hashtbl.create 64 in
+  List.iter
+    (fun (g : Ir.global) ->
+      if Hashtbl.mem gseen g.Ir.gname then out := diag "module" "duplicate global @%s" g.Ir.gname :: !out;
+      Hashtbl.replace gseen g.Ir.gname ())
+    m.Ir.globals;
+  let func_diags = List.concat_map (fun f -> check_func m f) m.Ir.funcs in
+  List.rev !out @ func_diags
+
+let check_exn m =
+  match run m with
+  | [] -> ()
+  | diags ->
+      let msgs = List.map (fun d -> Printf.sprintf "[%s] %s" d.where d.message) diags in
+      failwith ("Verify: " ^ String.concat "; " msgs)

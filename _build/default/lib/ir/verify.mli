@@ -1,0 +1,17 @@
+(** Module well-formedness checks, run after every pipeline stage.
+
+    Catches the bugs merging could introduce: duplicate symbols, calls whose
+    signature disagrees with the target, branches to missing labels, uses of
+    undefined locals, references to missing globals, and missing
+    terminators.  [run] returns all diagnostics; [check_exn] raises on the
+    first. *)
+
+type diagnostic = { where : string; message : string }
+
+val run : Ir.modul -> diagnostic list
+(** Empty when the module is well-formed.  Calls to functions with no
+    declaration or definition in the module are reported unless their name
+    is in {!Intrinsics.names} (the host runtime). *)
+
+val check_exn : Ir.modul -> unit
+(** Raises [Failure] with a readable summary if {!run} is non-empty. *)

@@ -1,0 +1,1 @@
+lib/lang/eval.ml: Ast List Printf Quilt_util String

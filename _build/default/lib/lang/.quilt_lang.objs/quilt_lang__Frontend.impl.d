@@ -1,0 +1,1 @@
+lib/lang/frontend.ml: Ast Builder Hashtbl Int64 Intrinsics Ir Linker List Printf Quilt_ir Verify

@@ -1,0 +1,1 @@
+lib/lang/frontend.mli: Ast Quilt_ir

@@ -1,0 +1,173 @@
+type arith = Add | Sub | Mul | Div | Mod
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+type expr =
+  | Str_lit of string
+  | Int_lit of int
+  | Var of string
+  | Let of string * expr * expr
+  | Seq of expr * expr
+  | Concat of expr * expr
+  | Itoa of expr
+  | Atoi of expr
+  | Str_eq of expr * expr
+  | Arith of arith * expr * expr
+  | Cmp of cmp * expr * expr
+  | If of expr * expr * expr
+  | For_acc of { var : string; from_ : expr; to_ : expr; acc : string; init : expr; body : expr }
+  | Json_get_str of expr * string
+  | Json_get_int of expr * string
+  | Json_arr_len of expr * string
+  | Json_arr_get of expr * string * expr
+  | Json_empty
+  | Json_set_str of expr * string * expr
+  | Json_set_int of expr * string * expr
+  | Json_set_raw of expr * string * expr
+  | Invoke of string * expr
+  | Invoke_async of string * expr
+  | Wait of expr
+  | Fan_out_all of { callee : string; count : expr }
+  | Burn of expr
+  | Sleep_io of expr
+  | Use_mem of expr
+
+type vty = Tstr | Tint | Tfut
+
+exception Type_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let vty_name = function Tstr -> "string" | Tint -> "int" | Tfut -> "future"
+
+let rec infer env e =
+  let expect want e what =
+    let got = infer env e in
+    if got <> want then err "%s: expected %s, got %s" what (vty_name want) (vty_name got)
+  in
+  match e with
+  | Str_lit _ -> Tstr
+  | Int_lit _ -> Tint
+  | Var x -> (
+      match List.assoc_opt x env with
+      | Some t -> t
+      | None -> err "unbound variable %s" x)
+  | Let (x, e1, e2) ->
+      let t1 = infer env e1 in
+      infer ((x, t1) :: env) e2
+  | Seq (a, b) ->
+      let _ = infer env a in
+      infer env b
+  | Concat (a, b) ->
+      expect Tstr a "concat lhs";
+      expect Tstr b "concat rhs";
+      Tstr
+  | Itoa e ->
+      expect Tint e "itoa";
+      Tstr
+  | Atoi e ->
+      expect Tstr e "atoi";
+      Tint
+  | Str_eq (a, b) ->
+      expect Tstr a "str_eq lhs";
+      expect Tstr b "str_eq rhs";
+      Tint
+  | Arith (_, a, b) ->
+      expect Tint a "arith lhs";
+      expect Tint b "arith rhs";
+      Tint
+  | Cmp (_, a, b) ->
+      expect Tint a "cmp lhs";
+      expect Tint b "cmp rhs";
+      Tint
+  | If (c, t, e2) ->
+      expect Tint c "if condition";
+      let tt = infer env t in
+      let te = infer env e2 in
+      if tt <> te then err "if branches disagree: %s vs %s" (vty_name tt) (vty_name te);
+      tt
+  | For_acc { var; from_; to_; acc; init; body } ->
+      expect Tint from_ "for lower bound";
+      expect Tint to_ "for upper bound";
+      let tacc = infer env init in
+      let tbody = infer ((var, Tint) :: (acc, tacc) :: env) body in
+      if tbody <> tacc then err "for body type %s does not match accumulator %s" (vty_name tbody) (vty_name tacc);
+      tacc
+  | Json_get_str (o, _) ->
+      expect Tstr o "json_get_str object";
+      Tstr
+  | Json_get_int (o, _) ->
+      expect Tstr o "json_get_int object";
+      Tint
+  | Json_arr_len (o, _) ->
+      expect Tstr o "json_arr_len object";
+      Tint
+  | Json_arr_get (o, _, i) ->
+      expect Tstr o "json_arr_get object";
+      expect Tint i "json_arr_get index";
+      Tstr
+  | Json_empty -> Tstr
+  | Json_set_str (o, _, v) ->
+      expect Tstr o "json_set_str object";
+      expect Tstr v "json_set_str value";
+      Tstr
+  | Json_set_int (o, _, v) ->
+      expect Tstr o "json_set_int object";
+      expect Tint v "json_set_int value";
+      Tstr
+  | Json_set_raw (o, _, v) ->
+      expect Tstr o "json_set_raw object";
+      expect Tstr v "json_set_raw value";
+      Tstr
+  | Invoke (_, e) ->
+      expect Tstr e "invoke payload";
+      Tstr
+  | Invoke_async (_, e) ->
+      expect Tstr e "async invoke payload";
+      Tfut
+  | Wait e ->
+      expect Tfut e "wait";
+      Tstr
+  | Fan_out_all { count; _ } ->
+      expect Tint count "fan-out count";
+      Tstr
+  | Burn e ->
+      expect Tint e "burn";
+      Tint
+  | Sleep_io e ->
+      expect Tint e "sleep_io";
+      Tint
+  | Use_mem e ->
+      expect Tint e "use_mem";
+      Tint
+
+type fn = { fn_name : string; fn_lang : string; mergeable : bool; body : expr }
+
+let check_fn f =
+  if not (List.mem f.fn_lang Quilt_ir.Intrinsics.languages) then
+    err "unsupported language %s for %s" f.fn_lang f.fn_name;
+  match infer [ ("req", Tstr) ] f.body with
+  | Tstr -> ()
+  | t -> err "%s: body has type %s, expected string" f.fn_name (vty_name t)
+
+let rec invocations e =
+  match e with
+  | Str_lit _ | Int_lit _ | Var _ | Json_empty -> []
+  | Let (_, a, b) | Seq (a, b) | Concat (a, b) | Str_eq (a, b) | Arith (_, a, b) | Cmp (_, a, b) ->
+      invocations a @ invocations b
+  | Itoa a | Atoi a | Wait a | Burn a | Sleep_io a | Use_mem a -> invocations a
+  | If (c, t, e2) -> invocations c @ invocations t @ invocations e2
+  | For_acc { from_; to_; init; body; _ } ->
+      invocations from_ @ invocations to_ @ invocations init @ invocations body
+  | Json_get_str (o, _) | Json_get_int (o, _) | Json_arr_len (o, _) -> invocations o
+  | Json_arr_get (o, _, i) -> invocations o @ invocations i
+  | Json_set_str (o, _, v) | Json_set_int (o, _, v) | Json_set_raw (o, _, v) ->
+      invocations o @ invocations v
+  | Invoke (svc, e) -> invocations e @ [ (svc, `Sync) ]
+  | Invoke_async (svc, e) -> invocations e @ [ (svc, `Async) ]
+  | Fan_out_all { callee; count } -> invocations count @ [ (callee, `Async) ]
+
+let mangle s = String.map (fun c -> if c = '-' then '_' else c) s
+
+let handler_symbol svc = mangle svc ^ "__handler"
+
+let local_symbol svc = mangle svc ^ "__local"

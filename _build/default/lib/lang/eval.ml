@@ -1,0 +1,167 @@
+module Json = Quilt_util.Json
+
+type phase =
+  | Compute of float
+  | Io of float
+  | Mem of float
+  | Sync_call of { callee : string; req : string; res : string }
+  | Async_spawn of { future : int; callee : string; req : string; res : string }
+  | Async_join of int
+
+exception Eval_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+type value = Vstr of string | Vint of int | Vfut of int * string
+
+let as_str = function Vstr s -> s | Vint _ | Vfut _ -> err "expected string"
+let as_int = function Vint i -> i | Vstr _ | Vfut _ -> err "expected int"
+
+let json_parse s =
+  match Json.of_string s with
+  | v -> v
+  | exception Json.Parse_error m -> err "json: %s" m
+
+(* Field reads are lenient, like dynamic serverless handlers poking at
+   loosely-typed payloads: unparsable input reads as null. *)
+let json_parse_lenient s =
+  match Json.of_string s with v -> v | exception Json.Parse_error _ -> Json.Null
+
+let member_string obj key =
+  match Json.member key obj with
+  | Json.String s -> s
+  | Json.Int i -> string_of_int i
+  | Json.Null -> ""
+  | other -> Json.to_string other
+
+let set_field obj key v =
+  match obj with
+  | Json.Obj fields -> Json.to_string (Json.Obj (List.remove_assoc key fields @ [ (key, v) ]))
+  | _ -> err "json set on non-object"
+
+let run ~invoke (f : Ast.fn) ~req =
+  let trace = ref [] in
+  let emit p = trace := p :: !trace in
+  let next_future = ref 0 in
+  let rec eval env (e : Ast.expr) =
+    match e with
+    | Ast.Str_lit s -> Vstr s
+    | Ast.Int_lit i -> Vint i
+    | Ast.Var x -> (
+        match List.assoc_opt x env with
+        | Some v -> v
+        | None -> err "unbound variable %s" x)
+    | Ast.Let (x, e1, e2) ->
+        let v1 = eval env e1 in
+        eval ((x, v1) :: env) e2
+    | Ast.Seq (a, b) ->
+        let _ = eval env a in
+        eval env b
+    | Ast.Concat (a, b) -> Vstr (as_str (eval env a) ^ as_str (eval env b))
+    | Ast.Itoa e -> Vstr (string_of_int (as_int (eval env e)))
+    | Ast.Atoi e -> (
+        match int_of_string_opt (String.trim (as_str (eval env e))) with
+        | Some i -> Vint i
+        | None -> Vint 0)
+    | Ast.Str_eq (a, b) -> Vint (if as_str (eval env a) = as_str (eval env b) then 1 else 0)
+    | Ast.Arith (op, a, b) ->
+        let x = as_int (eval env a) and y = as_int (eval env b) in
+        Vint
+          (match op with
+          | Ast.Add -> x + y
+          | Ast.Sub -> x - y
+          | Ast.Mul -> x * y
+          | Ast.Div -> if y = 0 then err "division by zero" else x / y
+          | Ast.Mod -> if y = 0 then err "division by zero" else x mod y)
+    | Ast.Cmp (op, a, b) ->
+        let x = as_int (eval env a) and y = as_int (eval env b) in
+        let r =
+          match op with
+          | Ast.Lt -> x < y
+          | Ast.Le -> x <= y
+          | Ast.Gt -> x > y
+          | Ast.Ge -> x >= y
+          | Ast.Eq -> x = y
+          | Ast.Ne -> x <> y
+        in
+        Vint (if r then 1 else 0)
+    | Ast.If (c, t, e2) -> if as_int (eval env c) <> 0 then eval env t else eval env e2
+    | Ast.For_acc { var; from_; to_; acc; init; body } ->
+        let lo = as_int (eval env from_) and hi = as_int (eval env to_) in
+        let state = ref (eval env init) in
+        for i = lo to hi - 1 do
+          state := eval ((var, Vint i) :: (acc, !state) :: env) body
+        done;
+        !state
+    | Ast.Json_get_str (o, k) -> Vstr (member_string (json_parse_lenient (as_str (eval env o))) k)
+    | Ast.Json_get_int (o, k) -> (
+        match Json.to_int_opt (Json.member k (json_parse_lenient (as_str (eval env o)))) with
+        | Some i -> Vint i
+        | None -> Vint 0)
+    | Ast.Json_arr_len (o, k) ->
+        Vint (List.length (Json.to_list (Json.member k (json_parse_lenient (as_str (eval env o))))))
+    | Ast.Json_arr_get (o, k, i) -> (
+        let items = Json.to_list (Json.member k (json_parse_lenient (as_str (eval env o)))) in
+        let idx = as_int (eval env i) in
+        match List.nth_opt items idx with
+        | Some item -> Vstr (Json.to_string item)
+        | None -> err "array index %d out of bounds" idx)
+    | Ast.Json_empty -> Vstr "{}"
+    | Ast.Json_set_str (o, k, v) ->
+        Vstr (set_field (json_parse (as_str (eval env o))) k (Json.String (as_str (eval env v))))
+    | Ast.Json_set_int (o, k, v) ->
+        Vstr (set_field (json_parse (as_str (eval env o))) k (Json.Int (as_int (eval env v))))
+    | Ast.Json_set_raw (o, k, v) ->
+        Vstr (set_field (json_parse (as_str (eval env o))) k (json_parse (as_str (eval env v))))
+    | Ast.Invoke (callee, e) ->
+        let payload = as_str (eval env e) in
+        let res = invoke ~kind:`Sync ~name:callee ~req:payload in
+        emit (Sync_call { callee; req = payload; res });
+        Vstr res
+    | Ast.Invoke_async (callee, e) ->
+        let payload = as_str (eval env e) in
+        let res = invoke ~kind:`Async ~name:callee ~req:payload in
+        incr next_future;
+        let id = !next_future in
+        emit (Async_spawn { future = id; callee; req = payload; res });
+        Vfut (id, res)
+    | Ast.Wait e -> (
+        match eval env e with
+        | Vfut (id, res) ->
+            emit (Async_join id);
+            Vstr res
+        | Vstr _ | Vint _ -> err "wait on non-future")
+    | Ast.Fan_out_all { callee; count } ->
+        let n = as_int (eval env count) in
+        let futures =
+          List.init (max 0 n) (fun i ->
+              let payload = Json.to_string (Json.Obj [ ("data", Json.String (string_of_int i)) ]) in
+              let res = invoke ~kind:`Async ~name:callee ~req:payload in
+              incr next_future;
+              let id = !next_future in
+              emit (Async_spawn { future = id; callee; req = payload; res });
+              (id, res))
+        in
+        let out =
+          List.fold_left
+            (fun acc (id, res) ->
+              emit (Async_join id);
+              acc ^ member_string (json_parse_lenient res) "data")
+            "" futures
+        in
+        Vstr out
+    | Ast.Burn e ->
+        let us = as_int (eval env e) in
+        emit (Compute (float_of_int us));
+        Vint 0
+    | Ast.Sleep_io e ->
+        let us = as_int (eval env e) in
+        emit (Io (float_of_int us));
+        Vint 0
+    | Ast.Use_mem e ->
+        let mb = as_int (eval env e) in
+        emit (Mem (float_of_int mb));
+        Vint 0
+  in
+  let result = as_str (eval [ ("req", Vstr req) ] f.Ast.body) in
+  (result, List.rev !trace)

@@ -1,0 +1,28 @@
+(** Reference evaluator for {!Ast} functions.
+
+    Used as ground truth for the QIR pipeline (merged and unmerged modules
+    must agree with it byte-for-byte) and to produce the {e work trace} the
+    platform simulator replays with resource semantics.  Invocations are
+    delegated to the embedder; asynchronous calls are evaluated eagerly
+    (the functions are deterministic) while the trace records spawn/join
+    structure so the simulator can overlap them in time. *)
+
+type phase =
+  | Compute of float  (** µs of CPU. *)
+  | Io of float  (** µs of I/O wait (no CPU). *)
+  | Mem of float  (** MB held for the rest of the request. *)
+  | Sync_call of { callee : string; req : string; res : string }
+  | Async_spawn of { future : int; callee : string; req : string; res : string }
+  | Async_join of int
+
+exception Eval_error of string
+
+val run :
+  invoke:(kind:[ `Sync | `Async ] -> name:string -> req:string -> string) ->
+  Ast.fn ->
+  req:string ->
+  string * phase list
+(** Evaluates the body with ["req"] bound; returns the response and the
+    trace in evaluation order.  Raises {!Eval_error} on dynamic errors
+    (which the type checker should have prevented) and re-raises whatever
+    [invoke] raises. *)

@@ -1,0 +1,418 @@
+open Quilt_ir
+module B = Builder
+
+let ir_ty = function Ast.Tint -> Ir.I64 | Ast.Tstr | Ast.Tfut -> Ir.Ptr
+
+type lctx = {
+  b : B.t;
+  lang : string;
+  strings : (string, string) Hashtbl.t;  (* content -> global name *)
+  mutable globals : Ir.global list;
+  mutable gcount : int;
+  prefix : string;
+}
+
+let intern ctx content =
+  match Hashtbl.find_opt ctx.strings content with
+  | Some g -> g
+  | None ->
+      ctx.gcount <- ctx.gcount + 1;
+      let name = Printf.sprintf "str.%s.%d" ctx.prefix ctx.gcount in
+      ctx.globals <-
+        { Ir.gname = name; ginit = Ir.Gstr content; gconst = true; glang = Some ctx.lang }
+        :: ctx.globals;
+      Hashtbl.replace ctx.strings content name;
+      name
+
+(* Service-name globals get a stable name so identical constants merge at
+   link time and MergeFunc's documentation reads naturally. *)
+let svc_global ctx svc =
+  let name = "svc." ^ Ast.mangle svc in
+  if not (List.exists (fun (g : Ir.global) -> g.Ir.gname = name) ctx.globals) then
+    ctx.globals <-
+      { Ir.gname = name; ginit = Ir.Gstr svc; gconst = true; glang = None } :: ctx.globals;
+  name
+
+let native ctx suffix = ctx.lang ^ "_" ^ suffix
+
+let rec lower ctx env (e : Ast.expr) : Ir.value * Ast.vty =
+  let b = ctx.b in
+  let str_call suffix args = B.call b ~ret:Ir.Ptr ~callee:(native ctx suffix) ~args in
+  let int_call suffix args = B.call b ~ret:Ir.I64 ~callee:(native ctx suffix) ~args in
+  let lower_str e =
+    let v, ty = lower ctx env e in
+    assert (ty = Ast.Tstr);
+    v
+  in
+  let lower_int e =
+    let v, ty = lower ctx env e in
+    assert (ty = Ast.Tint);
+    v
+  in
+  let key_value k =
+    let g = intern ctx k in
+    B.call b ~ret:Ir.Ptr ~callee:(native ctx "str_from_c") ~args:[ (Ir.Ptr, Ir.Const (Ir.Cglobal g)) ]
+  in
+  match e with
+  | Ast.Str_lit s ->
+      let g = intern ctx s in
+      ( B.call b ~ret:Ir.Ptr ~callee:(native ctx "str_from_c")
+          ~args:[ (Ir.Ptr, Ir.Const (Ir.Cglobal g)) ],
+        Ast.Tstr )
+  | Ast.Int_lit i -> (Ir.Const (Ir.Cint (Ir.I64, Int64.of_int i)), Ast.Tint)
+  | Ast.Var x -> (
+      match List.assoc_opt x env with
+      | Some (v, t) -> (v, t)
+      | None -> raise (Ast.Type_error ("unbound variable " ^ x)))
+  | Ast.Let (x, e1, e2) ->
+      let v1, t1 = lower ctx env e1 in
+      lower ctx ((x, (v1, t1)) :: env) e2
+  | Ast.Seq (a, b2) ->
+      let _ = lower ctx env a in
+      lower ctx env b2
+  | Ast.Concat (a, b2) ->
+      let va = lower_str a in
+      let vb = lower_str b2 in
+      (str_call "concat" [ (Ir.Ptr, va); (Ir.Ptr, vb) ], Ast.Tstr)
+  | Ast.Itoa e1 -> (str_call "itoa" [ (Ir.I64, lower_int e1) ], Ast.Tstr)
+  | Ast.Atoi e1 -> (int_call "atoi" [ (Ir.Ptr, lower_str e1) ], Ast.Tint)
+  | Ast.Str_eq (a, b2) ->
+      let va = lower_str a in
+      let vb = lower_str b2 in
+      (int_call "str_eq" [ (Ir.Ptr, va); (Ir.Ptr, vb) ], Ast.Tint)
+  | Ast.Arith (op, a, b2) ->
+      let va = lower_int a in
+      let vb = lower_int b2 in
+      let iop =
+        match op with
+        | Ast.Add -> Ir.Add
+        | Ast.Sub -> Ir.Sub
+        | Ast.Mul -> Ir.Mul
+        | Ast.Div -> Ir.Sdiv
+        | Ast.Mod -> Ir.Srem
+      in
+      let dst = B.fresh b "a" in
+      B.emit b (Ir.Binop { dst; op = iop; ty = Ir.I64; lhs = va; rhs = vb });
+      (Ir.Local dst, Ast.Tint)
+  | Ast.Cmp (op, a, b2) ->
+      let va = lower_int a in
+      let vb = lower_int b2 in
+      let icmp =
+        match op with
+        | Ast.Lt -> Ir.Cslt
+        | Ast.Le -> Ir.Csle
+        | Ast.Gt -> Ir.Csgt
+        | Ast.Ge -> Ir.Csge
+        | Ast.Eq -> Ir.Ceq
+        | Ast.Ne -> Ir.Cne
+      in
+      let c = B.fresh b "c" in
+      B.emit b (Ir.Icmp { dst = c; cmp = icmp; ty = Ir.I64; lhs = va; rhs = vb });
+      let dst = B.fresh b "z" in
+      B.emit b
+        (Ir.Select
+           {
+             dst;
+             ty = Ir.I64;
+             cond = Ir.Local c;
+             if_true = Ir.Const (Ir.Cint (Ir.I64, 1L));
+             if_false = Ir.Const (Ir.Cint (Ir.I64, 0L));
+           });
+      (Ir.Local dst, Ast.Tint)
+  | Ast.If (c, t, e2) ->
+      let vc = lower_int c in
+      let cnz = B.fresh b "nz" in
+      B.emit b
+        (Ir.Icmp { dst = cnz; cmp = Ir.Cne; ty = Ir.I64; lhs = vc; rhs = Ir.Const (Ir.Cint (Ir.I64, 0L)) });
+      let lt = B.fresh_label b "then" in
+      let le = B.fresh_label b "else" in
+      let lj = B.fresh_label b "join" in
+      B.terminate b (Ir.Cbr { cond = Ir.Local cnz; if_true = lt; if_false = le });
+      B.start_block b lt;
+      let vt, tt = lower ctx env t in
+      let lt_end = B.current_label b in
+      B.terminate b (Ir.Br lj);
+      B.start_block b le;
+      let ve, _ = lower ctx env e2 in
+      let le_end = B.current_label b in
+      B.terminate b (Ir.Br lj);
+      B.start_block b lj;
+      let dst = B.fresh b "phi" in
+      B.emit b (Ir.Phi { dst; ty = ir_ty tt; incoming = [ (vt, lt_end); (ve, le_end) ] });
+      (Ir.Local dst, tt)
+  | Ast.For_acc { var; from_; to_; acc; init; body } ->
+      let lo = lower_int from_ in
+      let hi = lower_int to_ in
+      let vinit, tacc = lower ctx env init in
+      (* alloca-based loop state (pre-mem2reg style). *)
+      let islot = B.fresh b "islot" in
+      B.emit b (Ir.Alloca { dst = islot; bytes = Ir.Const (Ir.Cint (Ir.I64, 8L)) });
+      B.emit b (Ir.Store { ty = Ir.I64; src = lo; ptr = Ir.Local islot });
+      let aslot = B.fresh b "aslot" in
+      B.emit b (Ir.Alloca { dst = aslot; bytes = Ir.Const (Ir.Cint (Ir.I64, 8L)) });
+      B.emit b (Ir.Store { ty = ir_ty tacc; src = vinit; ptr = Ir.Local aslot });
+      let lh = B.fresh_label b "loop" in
+      let lb = B.fresh_label b "lbody" in
+      let lx = B.fresh_label b "lexit" in
+      B.terminate b (Ir.Br lh);
+      B.start_block b lh;
+      let iv = B.fresh b "i" in
+      B.emit b (Ir.Load { dst = iv; ty = Ir.I64; ptr = Ir.Local islot });
+      let cond = B.fresh b "lc" in
+      B.emit b (Ir.Icmp { dst = cond; cmp = Ir.Cslt; ty = Ir.I64; lhs = Ir.Local iv; rhs = hi });
+      B.terminate b (Ir.Cbr { cond = Ir.Local cond; if_true = lb; if_false = lx });
+      B.start_block b lb;
+      let acur = B.fresh b "acc" in
+      B.emit b (Ir.Load { dst = acur; ty = ir_ty tacc; ptr = Ir.Local aslot });
+      let env' = (var, (Ir.Local iv, Ast.Tint)) :: (acc, (Ir.Local acur, tacc)) :: env in
+      let av, _ = lower ctx env' body in
+      B.emit b (Ir.Store { ty = ir_ty tacc; src = av; ptr = Ir.Local aslot });
+      let inext = B.fresh b "inext" in
+      B.emit b
+        (Ir.Binop
+           { dst = inext; op = Ir.Add; ty = Ir.I64; lhs = Ir.Local iv; rhs = Ir.Const (Ir.Cint (Ir.I64, 1L)) });
+      B.emit b (Ir.Store { ty = Ir.I64; src = Ir.Local inext; ptr = Ir.Local islot });
+      B.terminate b (Ir.Br lh);
+      B.start_block b lx;
+      let result = B.fresh b "afinal" in
+      B.emit b (Ir.Load { dst = result; ty = ir_ty tacc; ptr = Ir.Local aslot });
+      (Ir.Local result, tacc)
+  | Ast.Json_get_str (o, k) ->
+      let vo = lower_str o in
+      let vk = key_value k in
+      (str_call "json_get_str" [ (Ir.Ptr, vo); (Ir.Ptr, vk) ], Ast.Tstr)
+  | Ast.Json_get_int (o, k) ->
+      let vo = lower_str o in
+      let vk = key_value k in
+      (int_call "json_get_int" [ (Ir.Ptr, vo); (Ir.Ptr, vk) ], Ast.Tint)
+  | Ast.Json_arr_len (o, k) ->
+      let vo = lower_str o in
+      let vk = key_value k in
+      (int_call "json_arr_len" [ (Ir.Ptr, vo); (Ir.Ptr, vk) ], Ast.Tint)
+  | Ast.Json_arr_get (o, k, i) ->
+      let vo = lower_str o in
+      let vk = key_value k in
+      let vi = lower_int i in
+      (str_call "json_arr_get" [ (Ir.Ptr, vo); (Ir.Ptr, vk); (Ir.I64, vi) ], Ast.Tstr)
+  | Ast.Json_empty -> (str_call "json_empty" [], Ast.Tstr)
+  | Ast.Json_set_str (o, k, v) ->
+      let vo = lower_str o in
+      let vk = key_value k in
+      let vv = lower_str v in
+      (str_call "json_set_str" [ (Ir.Ptr, vo); (Ir.Ptr, vk); (Ir.Ptr, vv) ], Ast.Tstr)
+  | Ast.Json_set_int (o, k, v) ->
+      let vo = lower_str o in
+      let vk = key_value k in
+      let vv = lower_int v in
+      (str_call "json_set_int" [ (Ir.Ptr, vo); (Ir.Ptr, vk); (Ir.I64, vv) ], Ast.Tstr)
+  | Ast.Json_set_raw (o, k, v) ->
+      let vo = lower_str o in
+      let vk = key_value k in
+      let vv = lower_str v in
+      (str_call "json_set_raw" [ (Ir.Ptr, vo); (Ir.Ptr, vk); (Ir.Ptr, vv) ], Ast.Tstr)
+  | Ast.Invoke (svc, e1) ->
+      let vreq = lower_str e1 in
+      let g = svc_global ctx svc in
+      ( B.call b ~ret:Ir.Ptr
+          ~callee:(native ctx "sync_inv")
+          ~args:[ (Ir.Ptr, Ir.Const (Ir.Cglobal g)); (Ir.Ptr, vreq) ],
+        Ast.Tstr )
+  | Ast.Invoke_async (svc, e1) ->
+      let vreq = lower_str e1 in
+      let g = svc_global ctx svc in
+      ( B.call b ~ret:Ir.Ptr
+          ~callee:(native ctx "async_inv")
+          ~args:[ (Ir.Ptr, Ir.Const (Ir.Cglobal g)); (Ir.Ptr, vreq) ],
+        Ast.Tfut )
+  | Ast.Wait e1 ->
+      let v, ty = lower ctx env e1 in
+      assert (ty = Ast.Tfut);
+      (B.call b ~ret:Ir.Ptr ~callee:(native ctx "async_wait") ~args:[ (Ir.Ptr, v) ], Ast.Tstr)
+  | Ast.Fan_out_all { callee; count } ->
+      (* Spawn-all-then-join-all over an array of futures: the shape of
+         §5.6's fan_out_function. *)
+      let n = lower_int count in
+      let g = svc_global ctx callee in
+      let bytes = B.fresh b "fbytes" in
+      B.emit b (Ir.Binop { dst = bytes; op = Ir.Mul; ty = Ir.I64; lhs = n; rhs = Ir.Const (Ir.Cint (Ir.I64, 8L)) });
+      let buf = B.fresh b "fbuf" in
+      B.emit b (Ir.Alloca { dst = buf; bytes = Ir.Local bytes });
+      let islot = B.fresh b "fislot" in
+      B.emit b (Ir.Alloca { dst = islot; bytes = Ir.Const (Ir.Cint (Ir.I64, 8L)) });
+      B.emit b (Ir.Store { ty = Ir.I64; src = Ir.Const (Ir.Cint (Ir.I64, 0L)); ptr = Ir.Local islot });
+      (* Spawn loop. *)
+      let l_spawn = B.fresh_label b "fspawn" in
+      let l_spawn_body = B.fresh_label b "fspawnb" in
+      let l_join_init = B.fresh_label b "fjoininit" in
+      B.terminate b (Ir.Br l_spawn);
+      B.start_block b l_spawn;
+      let iv = B.fresh b "fi" in
+      B.emit b (Ir.Load { dst = iv; ty = Ir.I64; ptr = Ir.Local islot });
+      let cond = B.fresh b "fc" in
+      B.emit b (Ir.Icmp { dst = cond; cmp = Ir.Cslt; ty = Ir.I64; lhs = Ir.Local iv; rhs = n });
+      B.terminate b (Ir.Cbr { cond = Ir.Local cond; if_true = l_spawn_body; if_false = l_join_init });
+      B.start_block b l_spawn_body;
+      let empty = B.call b ~ret:Ir.Ptr ~callee:(native ctx "json_empty") ~args:[] in
+      let key = key_value "data" in
+      let istr = B.call b ~ret:Ir.Ptr ~callee:(native ctx "itoa") ~args:[ (Ir.I64, Ir.Local iv) ] in
+      let req =
+        B.call b ~ret:Ir.Ptr
+          ~callee:(native ctx "json_set_str")
+          ~args:[ (Ir.Ptr, empty); (Ir.Ptr, key); (Ir.Ptr, istr) ]
+      in
+      let fut =
+        B.call b ~ret:Ir.Ptr
+          ~callee:(native ctx "async_inv")
+          ~args:[ (Ir.Ptr, Ir.Const (Ir.Cglobal g)); (Ir.Ptr, req) ]
+      in
+      let off = B.fresh b "foff" in
+      B.emit b (Ir.Binop { dst = off; op = Ir.Mul; ty = Ir.I64; lhs = Ir.Local iv; rhs = Ir.Const (Ir.Cint (Ir.I64, 8L)) });
+      let slot = B.fresh b "fslot" in
+      B.emit b (Ir.Gep { dst = slot; base = Ir.Local buf; offset = Ir.Local off });
+      B.emit b (Ir.Store { ty = Ir.Ptr; src = fut; ptr = Ir.Local slot });
+      let inext = B.fresh b "finext" in
+      B.emit b
+        (Ir.Binop { dst = inext; op = Ir.Add; ty = Ir.I64; lhs = Ir.Local iv; rhs = Ir.Const (Ir.Cint (Ir.I64, 1L)) });
+      B.emit b (Ir.Store { ty = Ir.I64; src = Ir.Local inext; ptr = Ir.Local islot });
+      B.terminate b (Ir.Br l_spawn);
+      (* Join loop, accumulating the concatenation. *)
+      B.start_block b l_join_init;
+      let aslot = B.fresh b "faslot" in
+      B.emit b (Ir.Alloca { dst = aslot; bytes = Ir.Const (Ir.Cint (Ir.I64, 8L)) });
+      let empty_g = intern ctx "" in
+      let acc0 =
+        B.call b ~ret:Ir.Ptr ~callee:(native ctx "str_from_c")
+          ~args:[ (Ir.Ptr, Ir.Const (Ir.Cglobal empty_g)) ]
+      in
+      B.emit b (Ir.Store { ty = Ir.Ptr; src = acc0; ptr = Ir.Local aslot });
+      B.emit b (Ir.Store { ty = Ir.I64; src = Ir.Const (Ir.Cint (Ir.I64, 0L)); ptr = Ir.Local islot });
+      let l_join = B.fresh_label b "fjoin" in
+      let l_join_body = B.fresh_label b "fjoinb" in
+      let l_done = B.fresh_label b "fdone" in
+      B.terminate b (Ir.Br l_join);
+      B.start_block b l_join;
+      let jv = B.fresh b "fj" in
+      B.emit b (Ir.Load { dst = jv; ty = Ir.I64; ptr = Ir.Local islot });
+      let jcond = B.fresh b "fjc" in
+      B.emit b (Ir.Icmp { dst = jcond; cmp = Ir.Cslt; ty = Ir.I64; lhs = Ir.Local jv; rhs = n });
+      B.terminate b (Ir.Cbr { cond = Ir.Local jcond; if_true = l_join_body; if_false = l_done });
+      B.start_block b l_join_body;
+      let joff = B.fresh b "fjoff" in
+      B.emit b (Ir.Binop { dst = joff; op = Ir.Mul; ty = Ir.I64; lhs = Ir.Local jv; rhs = Ir.Const (Ir.Cint (Ir.I64, 8L)) });
+      let jslot = B.fresh b "fjslot" in
+      B.emit b (Ir.Gep { dst = jslot; base = Ir.Local buf; offset = Ir.Local joff });
+      let jfut = B.fresh b "fjfut" in
+      B.emit b (Ir.Load { dst = jfut; ty = Ir.Ptr; ptr = Ir.Local jslot });
+      let res =
+        B.call b ~ret:Ir.Ptr ~callee:(native ctx "async_wait") ~args:[ (Ir.Ptr, Ir.Local jfut) ]
+      in
+      let key2 = key_value "data" in
+      let d =
+        B.call b ~ret:Ir.Ptr
+          ~callee:(native ctx "json_get_str")
+          ~args:[ (Ir.Ptr, res); (Ir.Ptr, key2) ]
+      in
+      let acur = B.fresh b "fjacc" in
+      B.emit b (Ir.Load { dst = acur; ty = Ir.Ptr; ptr = Ir.Local aslot });
+      let anext =
+        B.call b ~ret:Ir.Ptr ~callee:(native ctx "concat")
+          ~args:[ (Ir.Ptr, Ir.Local acur); (Ir.Ptr, d) ]
+      in
+      B.emit b (Ir.Store { ty = Ir.Ptr; src = anext; ptr = Ir.Local aslot });
+      let jnext = B.fresh b "fjnext" in
+      B.emit b
+        (Ir.Binop { dst = jnext; op = Ir.Add; ty = Ir.I64; lhs = Ir.Local jv; rhs = Ir.Const (Ir.Cint (Ir.I64, 1L)) });
+      B.emit b (Ir.Store { ty = Ir.I64; src = Ir.Local jnext; ptr = Ir.Local islot });
+      B.terminate b (Ir.Br l_join);
+      B.start_block b l_done;
+      let final = B.fresh b "ffinal" in
+      B.emit b (Ir.Load { dst = final; ty = Ir.Ptr; ptr = Ir.Local aslot });
+      (Ir.Local final, Ast.Tstr)
+  | Ast.Burn e1 ->
+      B.call_void b ~callee:"quilt_burn_cpu" ~args:[ (Ir.I64, lower_int e1) ];
+      (Ir.Const (Ir.Cint (Ir.I64, 0L)), Ast.Tint)
+  | Ast.Sleep_io e1 ->
+      B.call_void b ~callee:"quilt_sleep_io" ~args:[ (Ir.I64, lower_int e1) ];
+      (Ir.Const (Ir.Cint (Ir.I64, 0L)), Ast.Tint)
+  | Ast.Use_mem e1 ->
+      B.call_void b ~callee:"quilt_use_mem" ~args:[ (Ir.I64, lower_int e1) ];
+      (Ir.Const (Ir.Cint (Ir.I64, 0L)), Ast.Tint)
+
+let compile_fn (f : Ast.fn) =
+  Ast.check_fn f;
+  let lang = f.Ast.fn_lang in
+  let handler = Ast.handler_symbol f.Ast.fn_name in
+  let b = B.create ~fname:handler ~params:[] ~ret_ty:Ir.Void ~lang:(Some lang) in
+  let ctx =
+    { b; lang; strings = Hashtbl.create 16; globals = []; gcount = 0; prefix = Ast.mangle f.Ast.fn_name }
+  in
+  (* Canonical handler prologue (see Pass_mergefunc). *)
+  B.call_void b ~callee:"quilt_curl_global_init" ~args:[];
+  let creq = B.fresh b "req.c" in
+  B.emit b (Ir.Call { dst = Some creq; ret = Ir.Ptr; callee = "quilt_get_req"; args = [] });
+  let sreq = B.fresh b "req.s" in
+  B.emit b
+    (Ir.Call
+       {
+         dst = Some sreq;
+         ret = Ir.Ptr;
+         callee = lang ^ "_str_from_c";
+         args = [ (Ir.Ptr, Ir.Local creq) ];
+       });
+  let res, ty = lower ctx [ ("req", (Ir.Local sreq, Ast.Tstr)) ] f.Ast.body in
+  assert (ty = Ast.Tstr);
+  (* Canonical epilogue. *)
+  let resc = B.fresh b "res.c" in
+  B.emit b
+    (Ir.Call { dst = Some resc; ret = Ir.Ptr; callee = lang ^ "_str_to_c"; args = [ (Ir.Ptr, res) ] });
+  B.call_void b ~callee:"quilt_send_res" ~args:[ (Ir.Ptr, Ir.Local resc) ];
+  B.terminate b (Ir.Ret None);
+  let func = B.finish b in
+  { Ir.mname = Printf.sprintf "%s.%s" f.Ast.fn_name lang; globals = List.rev ctx.globals; funcs = [ func ] }
+
+let runtime_module lang =
+  if not (List.mem lang Intrinsics.languages) then
+    invalid_arg (Printf.sprintf "Frontend.runtime_module: unknown language %s" lang);
+  let sync_inv =
+    let b =
+      B.create ~fname:(lang ^ "_sync_inv")
+        ~params:[ ("name", Ir.Ptr); ("req", Ir.Ptr) ]
+        ~ret_ty:Ir.Ptr ~lang:(Some lang)
+    in
+    let c = B.call b ~ret:Ir.Ptr ~callee:(lang ^ "_str_to_c") ~args:[ (Ir.Ptr, Ir.Local "req") ] in
+    let rc =
+      B.call b ~ret:Ir.Ptr ~callee:"quilt_sync_inv" ~args:[ (Ir.Ptr, Ir.Local "name"); (Ir.Ptr, c) ]
+    in
+    let r = B.call b ~ret:Ir.Ptr ~callee:(lang ^ "_str_from_c") ~args:[ (Ir.Ptr, rc) ] in
+    B.terminate b (Ir.Ret (Some (Ir.Ptr, r)));
+    B.finish b
+  in
+  let async_inv =
+    let b =
+      B.create ~fname:(lang ^ "_async_inv")
+        ~params:[ ("name", Ir.Ptr); ("req", Ir.Ptr) ]
+        ~ret_ty:Ir.Ptr ~lang:(Some lang)
+    in
+    let c = B.call b ~ret:Ir.Ptr ~callee:(lang ^ "_str_to_c") ~args:[ (Ir.Ptr, Ir.Local "req") ] in
+    let fut =
+      B.call b ~ret:Ir.Ptr ~callee:"quilt_async_inv" ~args:[ (Ir.Ptr, Ir.Local "name"); (Ir.Ptr, c) ]
+    in
+    B.terminate b (Ir.Ret (Some (Ir.Ptr, fut)));
+    B.finish b
+  in
+  let async_wait =
+    let b =
+      B.create ~fname:(lang ^ "_async_wait") ~params:[ ("fut", Ir.Ptr) ] ~ret_ty:Ir.Ptr
+        ~lang:(Some lang)
+    in
+    let rc = B.call b ~ret:Ir.Ptr ~callee:"quilt_async_wait" ~args:[ (Ir.Ptr, Ir.Local "fut") ] in
+    let r = B.call b ~ret:Ir.Ptr ~callee:(lang ^ "_str_from_c") ~args:[ (Ir.Ptr, rc) ] in
+    B.terminate b (Ir.Ret (Some (Ir.Ptr, r)));
+    B.finish b
+  in
+  { Ir.mname = lang ^ "-runtime"; globals = []; funcs = [ sync_inv; async_inv; async_wait ] }
+
+let compile (f : Ast.fn) =
+  let m = Linker.link (compile_fn f) (runtime_module f.Ast.fn_lang) in
+  Verify.check_exn m;
+  m

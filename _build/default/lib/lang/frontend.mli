@@ -1,0 +1,22 @@
+(** Per-language frontends: lower an {!Ast.fn} to a QIR module (pipeline
+    step ①, the rustc/clang/gollvm/swiftc analogue).
+
+    All five languages share the AST but differ in what the lowering
+    produces: symbol mangling, the string ABI used by every runtime call
+    ([<lang>_*] natives), and the SDK runtime module (the [<lang>_sync_inv]
+    family) that is linked into the function — the analogue of compiling
+    libstd to bitcode (§5.2).  The handler follows the canonical
+    serverless convention that {!Quilt_ir.Pass_mergefunc} rewrites. *)
+
+val runtime_module : string -> Quilt_ir.Ir.modul
+(** The language's SDK: [<lang>_sync_inv], [<lang>_async_inv],
+    [<lang>_async_wait], defined in IR over the platform natives.  Raises
+    [Invalid_argument] on unknown languages. *)
+
+val compile_fn : Ast.fn -> Quilt_ir.Ir.modul
+(** Lowers the function alone: its handler plus interned string globals.
+    Type-checks first ({!Ast.check_fn}). *)
+
+val compile : Ast.fn -> Quilt_ir.Ir.modul
+(** [compile_fn] linked with {!runtime_module} — a self-contained
+    "bitcode object" for the function, verified. *)

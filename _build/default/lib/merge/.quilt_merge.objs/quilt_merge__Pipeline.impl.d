@@ -1,0 +1,1 @@
+lib/merge/pipeline.ml: Hashtbl Intrinsics Ir Linker List Pass_billing Pass_dce Pass_delayhttp Pass_mergefunc Pass_rename Pass_simplify Printf Queue Quilt_ir Quilt_lang String Verify

@@ -1,0 +1,1 @@
+lib/merge/pipeline.mli: Quilt_ir Quilt_lang

@@ -1,0 +1,1 @@
+lib/merge/sizes.ml: Filename Ir List Quilt_ir String

@@ -1,0 +1,1 @@
+lib/merge/sizes.mli: Quilt_ir

@@ -1,0 +1,157 @@
+open Quilt_ir
+module Ast = Quilt_lang.Ast
+module Frontend = Quilt_lang.Frontend
+
+type edge_mode = Always_local | Guarded of int
+
+type report = {
+  rounds : (string * int) list;
+  removed_symbols : int;
+  languages : string list;
+  merged_module : Ir.modul;
+}
+
+let entry_handler root = Ast.handler_symbol root
+
+(* Symbols never renamed on link: natives resolve to the host, the SDK
+   runtime deduplicates per language, and service-name globals are shared
+   constants. *)
+let keep_symbol name =
+  Intrinsics.mem name
+  || List.exists
+       (fun lang ->
+         List.exists
+           (fun suffix -> name = lang ^ suffix)
+           [ "_sync_inv"; "_async_inv"; "_async_wait" ])
+       Intrinsics.languages
+  || String.length name >= 4 && String.sub name 0 4 = "svc."
+
+let bfs_order ~members ~edges ~root =
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let queue = Queue.create () in
+  Hashtbl.replace visited root ();
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let svc = Queue.pop queue in
+    order := svc :: !order;
+    List.iter
+      (fun (src, dst) ->
+        if src = svc && not (Hashtbl.mem visited dst) then begin
+          Hashtbl.replace visited dst ();
+          Queue.add dst queue
+        end)
+      edges
+  done;
+  List.iter
+    (fun m ->
+      if not (Hashtbl.mem visited m) then
+        failwith (Printf.sprintf "Pipeline.merge_group: member %s unreachable from root %s" m root))
+    members;
+  List.rev !order
+
+let merge_group ~lookup ~members ~root ?(edge_mode = fun ~caller:_ ~callee:_ -> Always_local)
+    ?(billing = false) () =
+  if not (List.mem root members) then failwith "Pipeline.merge_group: root must be a member";
+  let member_set = Hashtbl.create 16 in
+  List.iter (fun m -> Hashtbl.replace member_set m ()) members;
+  (* Member-internal edges from the ASTs. *)
+  let edges =
+    List.concat_map
+      (fun svc ->
+        let f = lookup svc in
+        List.filter_map
+          (fun (callee, _kind) -> if Hashtbl.mem member_set callee then Some (svc, callee) else None)
+          (Ast.invocations f.Ast.body))
+      members
+  in
+  let order = bfs_order ~members ~edges ~root in
+  (* Map handler symbols back to services for per-edge modes. *)
+  let service_of_symbol = Hashtbl.create 16 in
+  List.iter
+    (fun svc ->
+      Hashtbl.replace service_of_symbol (Ast.handler_symbol svc) svc;
+      Hashtbl.replace service_of_symbol (Ast.local_symbol svc) svc)
+    members;
+  let root_handler = entry_handler root in
+  let merged = ref (Frontend.compile (lookup root)) in
+  let rounds = ref [] in
+  List.iter
+    (fun callee ->
+      if callee <> root then begin
+        (* Step ①: compile, unless the code is already in the module (§5.4). *)
+        let handler = Ast.handler_symbol callee in
+        if Ir.find_func !merged handler = None then begin
+          let callee_module = Frontend.compile (lookup callee) in
+          (* Step ②: RenameFunc. *)
+          let callee_module =
+            Pass_rename.avoid_collisions ~against:!merged ~keep:keep_symbol callee_module
+          in
+          (* Step ③: llvm-link with runtime dedup. *)
+          merged := Linker.link ~dedup_identical:true !merged callee_module
+        end;
+        (* Step ④: MergeFunc. *)
+        let local_name = Ast.local_symbol callee in
+        if Ir.find_func !merged local_name = None then
+          merged := Pass_mergefunc.localize_handler !merged ~handler ~local_name;
+        let callee_lang = (lookup callee).Ast.fn_lang in
+        let mode ~caller =
+          match Hashtbl.find_opt service_of_symbol caller with
+          | Some caller_svc -> (
+              match edge_mode ~caller:caller_svc ~callee with
+              | Always_local -> Pass_mergefunc.Unconditional
+              | Guarded alpha -> Pass_mergefunc.Conditional alpha)
+          | None -> Pass_mergefunc.Unconditional
+        in
+        let m', n =
+          Pass_mergefunc.rewrite_call_sites !merged ~service:callee ~local_name ~callee_lang ~mode
+            ~reset_in:(Some root_handler)
+        in
+        merged := m';
+        rounds := (callee, n) :: !rounds
+      end)
+    order;
+  (* A member linked in a later round may itself call an earlier-merged
+     callee; sweep once more so every member-internal site is local. *)
+  List.iter
+    (fun callee ->
+      if callee <> root then begin
+        let local_name = Ast.local_symbol callee in
+        let callee_lang = (lookup callee).Ast.fn_lang in
+        let mode ~caller =
+          match Hashtbl.find_opt service_of_symbol caller with
+          | Some caller_svc -> (
+              match edge_mode ~caller:caller_svc ~callee with
+              | Always_local -> Pass_mergefunc.Unconditional
+              | Guarded alpha -> Pass_mergefunc.Conditional alpha)
+          | None -> Pass_mergefunc.Unconditional
+        in
+        let m', n =
+          Pass_mergefunc.rewrite_call_sites !merged ~service:callee ~local_name ~callee_lang ~mode
+            ~reset_in:(Some root_handler)
+        in
+        merged := m';
+        if n > 0 then
+          rounds :=
+            List.map (fun (c, k) -> if c = callee then (c, k + n) else (c, k)) !rounds
+      end)
+    order;
+  (* Step ⑦: DelayHTTP. *)
+  merged := Pass_delayhttp.run !merged;
+  (* Steps ⑧–⑩: scalar simplification (folds the localization aliases and
+     anything constant), then strip everything unreachable from the entry
+     handler. *)
+  merged := Pass_simplify.run !merged;
+  let before = List.length !merged.Ir.funcs + List.length !merged.Ir.globals in
+  merged := Pass_dce.run ~roots:[ root_handler ] !merged;
+  let after = List.length !merged.Ir.funcs + List.length !merged.Ir.globals in
+  (* Optional per-function billing instrumentation (§8). *)
+  if billing then merged := Pass_billing.run !merged;
+  merged := { !merged with Ir.mname = Printf.sprintf "quilt-merged.%s" (Ast.mangle root) };
+  Verify.check_exn !merged;
+  {
+    rounds = List.rev !rounds;
+    removed_symbols = before - after;
+    languages = Ir.langs !merged;
+    merged_module = !merged;
+  }

@@ -1,0 +1,43 @@
+(** The compilation pipeline of Figure 5: compile every member of a
+    subgraph, merge them two at a time in BFS order from the root, and
+    produce a single deployable module.
+
+    Per merge round (§5.4): the callee's module is compiled (step ①) unless
+    its code is already present, symbols are renamed to avoid collisions
+    (② RenameFunc), modules are linked with language-runtime deduplication
+    (③ llvm-link), the callee handler is converted to a local function and
+    all matching invocation sites are rewritten (④ MergeFunc), possibly as
+    §5.6 conditional invocations.  After the last round the HTTP-stack
+    initialisation is delayed (⑦ DelayHTTP) and unreferenced functions,
+    runtimes and globals are stripped (⑧–⑩ llc / Implib.so / gc-sections,
+    modelled by global DCE).  The result is verified. *)
+
+type edge_mode = Always_local | Guarded of int
+(** [Guarded alpha]: the first [alpha] calls per request stay local, later
+    ones fall back to remote invocation (§5.6). *)
+
+type report = {
+  rounds : (string * int) list;
+      (** Per merged callee: number of call sites rewritten. *)
+  removed_symbols : int;  (** Symbols stripped by the final DCE. *)
+  languages : string list;  (** Distinct source languages in the result. *)
+  merged_module : Quilt_ir.Ir.modul;
+}
+
+val merge_group :
+  lookup:(string -> Quilt_lang.Ast.fn) ->
+  members:string list ->
+  root:string ->
+  ?edge_mode:(caller:string -> callee:string -> edge_mode) ->
+  ?billing:bool ->
+  unit ->
+  report
+(** [members] are service names (the root included); [lookup] resolves each
+    to its source.  The call graph is derived from the ASTs; only edges
+    between members are merged.  [edge_mode] defaults to
+    [fun ~caller:_ ~callee:_ -> Always_local].
+    Raises [Failure] if a member is unreachable from the root through
+    member-internal edges (the subgraph would not be a connected rDAG). *)
+
+val entry_handler : string -> string
+(** Symbol of the merged module's entry point (the root's handler). *)

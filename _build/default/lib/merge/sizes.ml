@@ -1,0 +1,67 @@
+open Quilt_ir
+
+(* Calibration constants (MB).  See Appendix E discussion in EXPERIMENTS.md.
+   The dedupable pool (language runtime + shared crates) is paid once per
+   language; each application function adds its unique dependency slice;
+   merged binaries pay a fixed overhead for shims, guards, and Implib.so
+   wrappers. *)
+let base_mb = 0.10
+let runtime_mb = 1.0 (* libstd + common crates, compiled to bitcode, per language *)
+let dep_base_mb = 0.28 (* unique dependencies per application function *)
+let dep_per_instr_mb = 0.0015
+let bytes_per_instr = 320.0
+let http_stub_mb = 0.12
+let merge_overhead_mb = 0.25
+
+let is_app_function (f : Ir.func) =
+  (not (Ir.is_declaration f))
+  && (Filename.check_suffix f.Ir.fname "__handler" || Filename.check_suffix f.Ir.fname "__local")
+
+let uses_http (m : Ir.modul) =
+  let found = ref false in
+  Ir.iter_calls m (fun ~caller:_ i ->
+      match i with
+      | Ir.Call { callee = "quilt_sync_inv" | "quilt_async_inv"; _ } -> found := true
+      | _ -> ());
+  !found
+
+let fn_instrs (f : Ir.func) =
+  List.fold_left (fun a (b : Ir.block) -> a + List.length b.Ir.instrs + 1) 0 f.Ir.blocks
+
+let breakdown (m : Ir.modul) =
+  let langs = Ir.langs m in
+  let app_fns = List.filter is_app_function m.Ir.funcs in
+  let is_merged =
+    List.exists (fun (f : Ir.func) -> Filename.check_suffix f.Ir.fname "__local") m.Ir.funcs
+  in
+  let code_bytes =
+    List.fold_left
+      (fun acc (f : Ir.func) ->
+        acc + List.fold_left (fun a (b : Ir.block) -> a + List.length b.Ir.instrs + 1) 0 f.Ir.blocks)
+      0 m.Ir.funcs
+  in
+  let data_bytes =
+    List.fold_left
+      (fun acc (g : Ir.global) ->
+        acc + (match g.Ir.ginit with Ir.Gstr s -> String.length s + 1 | Ir.Gzero n -> n | Ir.Gint64 _ -> 8))
+      0 m.Ir.globals
+  in
+  [
+    ("base", base_mb);
+    ("language-runtimes", float_of_int (List.length langs) *. runtime_mb);
+    ( "dependencies",
+      List.fold_left
+        (fun acc f -> acc +. dep_base_mb +. (dep_per_instr_mb *. float_of_int (fn_instrs f)))
+        0.0 app_fns );
+    ("code", float_of_int code_bytes *. bytes_per_instr /. 1e6);
+    ("data", float_of_int data_bytes /. 1e6);
+    ("http-stub", if uses_http m then http_stub_mb else 0.0);
+    ("merge-glue", if is_merged then merge_overhead_mb else 0.0);
+  ]
+
+let binary_size_mb m = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 (breakdown m)
+
+(* Container layers: distro base + platform watchdog/runtime glue. *)
+let container_layers_mb = 24.0
+
+let container_image_mb m = binary_size_mb m +. container_layers_mb

@@ -1,0 +1,21 @@
+(** Binary-size model (Appendix E).
+
+    QIR is not lowered to machine code, so binary sizes come from a model
+    calibrated to the paper's numbers: a fixed base (ELF scaffolding +
+    platform glue), one language-runtime image per distinct source language
+    in the module (the analogue of libstd compiled to bitcode, ~1 MB), a
+    per-dependency share for every application function, code bytes
+    proportional to instruction count, string data, and an HTTP-client stub
+    (Implib.so wrapper) only when a remote invocation survives in the
+    binary.  Merging shrinks the total because the runtime, base and HTTP
+    stub are paid once instead of per function — and DCE drops unused
+    runtime pieces. *)
+
+val binary_size_mb : Quilt_ir.Ir.modul -> float
+
+val breakdown : Quilt_ir.Ir.modul -> (string * float) list
+(** Named components summing to {!binary_size_mb}; for reports. *)
+
+val container_image_mb : Quilt_ir.Ir.modul -> float
+(** Binary plus the per-container OS/runtime layers; feeds the simulator's
+    cold-start model. *)

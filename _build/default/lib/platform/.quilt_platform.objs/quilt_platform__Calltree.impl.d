@@ -1,0 +1,1 @@
+lib/platform/calltree.ml: List Queue Quilt_lang Quilt_tracing

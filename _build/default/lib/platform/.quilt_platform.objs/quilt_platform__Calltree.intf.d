@@ -1,0 +1,1 @@
+lib/platform/calltree.mli: Quilt_lang Quilt_tracing

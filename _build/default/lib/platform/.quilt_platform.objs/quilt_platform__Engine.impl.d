@@ -1,0 +1,1 @@
+lib/platform/engine.ml: Array Calltree Float Hashtbl List Params Printf Queue Quilt_tracing Quilt_util

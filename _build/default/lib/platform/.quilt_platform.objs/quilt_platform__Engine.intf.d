@@ -1,0 +1,1 @@
+lib/platform/engine.mli: Calltree Params Quilt_tracing

@@ -1,0 +1,1 @@
+lib/platform/loadgen.ml: Engine Quilt_util

@@ -1,0 +1,1 @@
+lib/platform/loadgen.mli: Engine Quilt_util

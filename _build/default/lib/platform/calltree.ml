@@ -1,0 +1,67 @@
+module Ast = Quilt_lang.Ast
+module Eval = Quilt_lang.Eval
+module Trace = Quilt_tracing.Trace
+
+type node = { fn : string; req : string; res : string; phases : phase list }
+
+and phase =
+  | Compute of float
+  | Io of float
+  | Mem of float
+  | Call of { kind : Trace.call_kind; future : int option; child : node }
+  | Join of int
+
+type registry = string -> Ast.fn
+
+let rec build (registry : registry) ~entry ~req =
+  (* The invoke callback runs before Eval emits the corresponding phase, so
+     children arrive in phase order: one queue per call kind suffices. *)
+  let sync_children = Queue.create () in
+  let async_children = Queue.create () in
+  let invoke ~kind ~name ~req =
+    let child = build registry ~entry:name ~req in
+    (match kind with
+    | `Sync -> Queue.add child sync_children
+    | `Async -> Queue.add child async_children);
+    child.res
+  in
+  let fn = registry entry in
+  let res, trace = Eval.run ~invoke fn ~req in
+  let phases =
+    List.map
+      (fun (p : Eval.phase) ->
+        match p with
+        | Eval.Compute us -> Compute us
+        | Eval.Io us -> Io us
+        | Eval.Mem mb -> Mem mb
+        | Eval.Sync_call _ ->
+            Call { kind = Trace.Sync; future = None; child = Queue.pop sync_children }
+        | Eval.Async_spawn { future; _ } ->
+            Call { kind = Trace.Async; future = Some future; child = Queue.pop async_children }
+        | Eval.Async_join id -> Join id)
+      trace
+  in
+  { fn = entry; req; res; phases }
+
+let response n = n.res
+
+let rec total_cpu_us n =
+  List.fold_left
+    (fun acc p ->
+      match p with
+      | Compute us -> acc +. us
+      | Call { child; _ } -> acc +. total_cpu_us child
+      | Io _ | Mem _ | Join _ -> acc)
+    0.0 n.phases
+
+let peak_mem_mb n =
+  List.fold_left (fun acc p -> match p with Mem mb -> acc +. mb | _ -> acc) 0.0 n.phases
+
+let functions n =
+  let seen = ref [] in
+  let rec visit n =
+    if not (List.mem n.fn !seen) then seen := n.fn :: !seen;
+    List.iter (fun p -> match p with Call { child; _ } -> visit child | _ -> ()) n.phases
+  in
+  visit n;
+  List.rev !seen

@@ -1,0 +1,641 @@
+module Heap = Quilt_util.Heap
+module Rng = Quilt_util.Rng
+module Trace = Quilt_tracing.Trace
+
+type mode =
+  | Plain
+  | Merged of { members : string list; guard : caller:string -> callee:string -> int option }
+  | Container_merge of { members : string list; member_base_mem : string -> float }
+
+type spec = {
+  service : string;
+  vcpus : float;
+  mem_limit_mb : float;
+  base_mem_mb : float;
+  image_mb : float;
+  max_scale : int;
+  eager_http : bool;
+  mode : mode;
+}
+
+type seg = { mutable remaining : float; big : bool; on_finish : unit -> unit }
+
+type container = {
+  cid : int;
+  cspec : spec;
+  mutable ready : bool;
+  mutable dead : bool;
+  mutable compute : seg list;
+  mutable last_update : float;
+  mutable epoch : int;
+  mutable mem_in_use : float;
+  mutable n_tasks : int;
+  mutable idle_since : float;
+  mutable cpu_used_us : float;
+  mutable invocations : int;
+  mutable backlog : (unit -> unit) list;  (* tasks waiting for cold start *)
+  fail_hooks : (int, unit -> unit) Hashtbl.t;
+}
+
+type deployment = {
+  mutable dspec : spec;
+  mutable pool : container list;
+  mutable rr : int;
+  mutable peak : int;
+  mutable draining : bool;  (* re-entrancy guard for drain_queue *)
+  waitq : (Calltree.node * (bool -> unit)) Queue.t;
+}
+
+type counters = {
+  cold_starts : int;
+  oom_kills : int;
+  completed : int;
+  failed : int;
+  remote_invocations : int;
+  local_invocations : int;
+}
+
+type t = {
+  rng : Rng.t;
+  prm : Params.t;
+  registry : Calltree.registry;
+  events : (float, unit -> unit) Heap.t;
+  mutable now_ : float;
+  deployments : (string, deployment) Hashtbl.t;
+  routes : (string, string) Hashtbl.t;
+  store : Trace.store;
+  mutable profiling : bool;
+  mutable c_cold : int;
+  mutable c_oom : int;
+  mutable c_done : int;
+  mutable c_fail : int;
+  mutable c_remote : int;
+  mutable c_local : int;
+  mutable next_cid : int;
+  mutable next_tid : int;
+  ctree_cache : (string * string, Calltree.node) Hashtbl.t;
+}
+
+(* Per-request context on the deployment that owns the root task. *)
+type tctx = {
+  tid : int;
+  mutable t_failed : bool;
+  guard_counts : (string * string, int ref) Hashtbl.t;
+}
+
+let create ?(seed = 1) ?(params = Params.default) ~registry () =
+  {
+    rng = Rng.create seed;
+    prm = params;
+    registry;
+    events = Heap.create ();
+    now_ = 0.0;
+    deployments = Hashtbl.create 32;
+    routes = Hashtbl.create 32;
+    store = Trace.create ();
+    profiling = false;
+    c_cold = 0;
+    c_oom = 0;
+    c_done = 0;
+    c_fail = 0;
+    c_remote = 0;
+    c_local = 0;
+    next_cid = 0;
+    next_tid = 0;
+    ctree_cache = Hashtbl.create 256;
+  }
+
+let params sim = sim.prm
+let now sim = sim.now_
+let tracing sim = sim.store
+let set_profiling sim b = sim.profiling <- b
+
+let schedule sim delay thunk =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  Heap.push sim.events (sim.now_ +. delay) thunk
+
+let deploy sim spec =
+  Hashtbl.replace sim.deployments spec.service
+    { dspec = spec; pool = []; rr = 0; peak = 0; draining = false; waitq = Queue.create () };
+  Hashtbl.replace sim.routes spec.service spec.service
+
+let route sim ~fn ~deployment = Hashtbl.replace sim.routes fn deployment
+
+let mem_deployment sim name = Hashtbl.mem sim.deployments name
+
+let deployment_for sim fn =
+  let dname = match Hashtbl.find_opt sim.routes fn with Some d -> d | None -> fn in
+  match Hashtbl.find_opt sim.deployments dname with
+  | Some d -> d
+  | None -> failwith (Printf.sprintf "Engine: no deployment for %s" fn)
+
+(* --- Processor-sharing CPU --- *)
+
+(* Queued requests are re-dispatched when capacity frees up.  Capacity
+   changes both when tasks complete and when a compute segment finishes
+   (the task moves to I/O wait); the hook breaks the definition cycle with
+   drain_queue below. *)
+let drain_hook : (t -> container -> unit) ref = ref (fun _ _ -> ())
+
+(* Per-segment progress rate under processor sharing.  Long compute bursts
+   additionally lose efficiency when the container's demand exceeds its
+   quota — CFS throttling (the Experiment 3 phenomenon). *)
+let seg_rate prm c n (s : seg) =
+  let nf = float_of_int n in
+  let base = Float.min 1.0 (c.cspec.vcpus /. nf) in
+  (* Mild over-subscription fits within the CFS period; sustained demand
+     well past the quota stalls and loses efficiency. *)
+  if s.big && nf > c.cspec.vcpus +. 1.5 then base *. prm.Params.cfs_throttle_efficiency
+  else base
+
+let settle prm c nowt =
+  let n = List.length c.compute in
+  if n > 0 then begin
+    let dt = nowt -. c.last_update in
+    if dt > 0.0 then
+      List.iter
+        (fun s ->
+          let rate = seg_rate prm c n s in
+          s.remaining <- s.remaining -. (dt *. rate);
+          c.cpu_used_us <- c.cpu_used_us +. (dt *. rate))
+        c.compute
+  end;
+  c.last_update <- nowt
+
+let rec reschedule_cpu sim c =
+  c.epoch <- c.epoch + 1;
+  match c.compute with
+  | [] -> ()
+  | segs ->
+      let n = List.length segs in
+      let dt =
+        List.fold_left
+          (fun acc s -> Float.min acc (s.remaining /. seg_rate sim.prm c n s))
+          infinity segs
+      in
+      let dt = Float.max 0.0 dt in
+      let ep = c.epoch in
+      schedule sim dt (fun () ->
+          if (not c.dead) && c.epoch = ep then begin
+            settle sim.prm c sim.now_;
+            let finished, running = List.partition (fun s -> s.remaining <= 1e-6) c.compute in
+            c.compute <- running;
+            reschedule_cpu sim c;
+            List.iter (fun s -> s.on_finish ()) finished;
+            if finished <> [] then !drain_hook sim c
+          end)
+
+let add_compute sim c us k =
+  if c.dead then ()
+  else if us <= 0.01 then k ()
+  else begin
+    settle sim.prm c sim.now_;
+    c.compute <- { remaining = us; big = us >= sim.prm.Params.cfs_big_seg_us; on_finish = k } :: c.compute;
+    reschedule_cpu sim c
+  end
+
+(* --- Memory and OOM --- *)
+
+let remove_container dep c = dep.pool <- List.filter (fun c' -> c'.cid <> c.cid) dep.pool
+
+let oom_kill sim dep c =
+  settle sim.prm c sim.now_;
+  c.dead <- true;
+  c.epoch <- c.epoch + 1;
+  c.compute <- [];
+  remove_container dep c;
+  sim.c_oom <- sim.c_oom + 1;
+  let hooks = Hashtbl.fold (fun _ h acc -> h :: acc) c.fail_hooks [] in
+  Hashtbl.reset c.fail_hooks;
+  List.iter (fun h -> h ()) hooks
+
+(* Returns false when the allocation killed the container. *)
+let add_mem sim dep c mb =
+  if c.dead then false
+  else begin
+    c.mem_in_use <- c.mem_in_use +. mb;
+    if c.mem_in_use > c.cspec.mem_limit_mb then begin
+      oom_kill sim dep c;
+      false
+    end
+    else true
+  end
+
+let release_mem c mb = if not c.dead then c.mem_in_use <- c.mem_in_use -. mb
+
+(* --- Containers --- *)
+
+let cold_start sim dep =
+  sim.c_cold <- sim.c_cold + 1;
+  sim.next_cid <- sim.next_cid + 1;
+  let spec = dep.dspec in
+  let c =
+    {
+      cid = sim.next_cid;
+      cspec = spec;
+      ready = false;
+      dead = false;
+      compute = [];
+      last_update = sim.now_;
+      epoch = 0;
+      mem_in_use = spec.base_mem_mb;
+      n_tasks = 0;
+      idle_since = sim.now_;
+      cpu_used_us = 0.0;
+      invocations = 0;
+      backlog = [];
+      fail_hooks = Hashtbl.create 8;
+    }
+  in
+  dep.pool <- c :: dep.pool;
+  if List.length dep.pool > dep.peak then dep.peak <- List.length dep.pool;
+  let duration =
+    (spec.image_mb *. sim.prm.Params.cold_start_pull_us_per_mb)
+    +. sim.prm.Params.cold_start_boot_us
+    +. (if spec.eager_http then sim.prm.Params.http_stack_load_us else 0.0)
+  in
+  schedule sim duration (fun () ->
+      if not c.dead then begin
+        c.ready <- true;
+        c.idle_since <- sim.now_;
+        c.last_update <- sim.now_;
+        let pending = List.rev c.backlog in
+        c.backlog <- [];
+        List.iter (fun run -> run ()) pending;
+        (* Requests queued at the controller can now be placed. *)
+        !drain_hook sim c
+      end);
+  c
+
+let accepts sim c =
+  if c.dead || not c.ready then false
+  else if c.n_tasks >= sim.prm.Params.max_tasks_per_container then false
+  else begin
+    let slots = Float.max 1.0 (c.cspec.vcpus *. sim.prm.Params.utilization_threshold) in
+    float_of_int (List.length c.compute) < slots
+  end
+
+let pick_container sim dep =
+  let alive = List.filter (fun c -> not c.dead) dep.pool in
+  let n = List.length alive in
+  if n = 0 then None
+  else begin
+    (* Round-robin over the pool, Fission-style. *)
+    let arr = Array.of_list alive in
+    let rec scan i tries =
+      if tries >= n then None
+      else begin
+        let c = arr.(i mod n) in
+        if accepts sim c then Some c else scan (i + 1) (tries + 1)
+      end
+    in
+    let found = scan dep.rr 0 in
+    dep.rr <- (dep.rr + 1) mod max 1 n;
+    found
+  end
+
+(* --- Execution --- *)
+
+let call_decision dep tctx ~caller ~callee =
+  match dep.dspec.mode with
+  | Plain -> `Remote
+  | Merged { members; guard } ->
+      if List.mem callee members then begin
+        match guard ~caller ~callee with
+        | None -> `Local
+        | Some alpha ->
+            let key = (caller, callee) in
+            let cnt =
+              match Hashtbl.find_opt tctx.guard_counts key with
+              | Some r -> r
+              | None ->
+                  let r = ref 0 in
+                  Hashtbl.replace tctx.guard_counts key r;
+                  r
+            in
+            if !cnt < alpha then begin
+              incr cnt;
+              `Local
+            end
+            else `Remote
+      end
+      else `Remote
+  | Container_merge { members; member_base_mem } ->
+      if List.mem callee members then `Cm_local (member_base_mem callee) else `Remote
+
+let record_span sim ~caller ~callee ~kind =
+  if sim.profiling then
+    Trace.record_span sim.store { Trace.ts = sim.now_; caller; callee; kind }
+
+let record_resources sim c ~fn =
+  if sim.profiling then begin
+    settle sim.prm c sim.now_;
+    (* Peak memory per function INSTANCE, not per container: concurrent
+       requests inflate the container's resident set, but the decision
+       algorithm's α-scaling already accounts for concurrency (§4.1), so
+       feeding it container peaks would double-count.  Approximate the
+       per-instance footprint as the base image plus this container's
+       workspace divided over its in-flight requests. *)
+    (* The shared runtime/base image belongs to the container, not to each
+       instance (the decision's mem_overhead covers it once); an instance's
+       own footprint is its workspace share plus a small per-instance margin
+       (stack, arenas). *)
+    let base = c.cspec.base_mem_mb in
+    let workspace = Float.max 0.0 (c.mem_in_use -. base) in
+    let per_instance = 1.0 +. (workspace /. float_of_int (max 1 c.n_tasks)) in
+    Trace.record_resource sim.store
+      {
+        Trace.rs_ts = sim.now_;
+        container = c.cid;
+        fn;
+        cpu_us_cum = c.cpu_used_us;
+        mem_mb = per_instance;
+        invocations_cum = c.invocations;
+      }
+  end
+
+let rec exec_node sim dep c tctx (node : Calltree.node) (k_done : bool -> unit) =
+  let held = ref 0.0 in
+  let futures : (int, [ `Ready of bool | `Pending of (bool -> unit) option ref ]) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let finish ok =
+    if !held > 0.0 then begin
+      release_mem c !held;
+      held := 0.0
+    end;
+    k_done ok
+  in
+  let rec go phases =
+    if tctx.t_failed || c.dead then finish false
+    else begin
+      match phases with
+      | [] -> finish true
+      | p :: rest -> (
+          let continue () = go rest in
+          let guarded_continue ok = if ok then continue () else finish false in
+          match p with
+          | Calltree.Compute us -> add_compute sim c us continue
+          | Calltree.Io us ->
+              schedule sim us (fun () -> if tctx.t_failed || c.dead then finish false else continue ())
+          | Calltree.Mem mb ->
+              held := !held +. mb;
+              if add_mem sim dep c mb then continue ()
+              (* on OOM the fail hook has already fired the root failure *)
+          | Calltree.Join fid -> (
+              match Hashtbl.find_opt futures fid with
+              | Some (`Ready ok) -> guarded_continue ok
+              | Some (`Pending waiter) ->
+                  waiter := Some (fun ok -> if tctx.t_failed || c.dead then finish false else guarded_continue ok)
+              | None -> failwith "Engine: join on unknown future")
+          | Calltree.Call { kind; future; child } -> (
+              let resolve_future fid ok =
+                match Hashtbl.find_opt futures fid with
+                | Some (`Pending waiter) -> (
+                    Hashtbl.replace futures fid (`Ready ok);
+                    match !waiter with Some w -> w ok | None -> ())
+                | Some (`Ready _) | None -> Hashtbl.replace futures fid (`Ready ok)
+              in
+              match call_decision dep tctx ~caller:node.Calltree.fn ~callee:child.Calltree.fn, kind, future with
+              | `Local, Trace.Sync, _ ->
+                  sim.c_local <- sim.c_local + 1;
+                  (* In-process call: sub-microsecond. *)
+                  exec_node sim dep c tctx child guarded_continue
+              | `Local, Trace.Async, Some fid ->
+                  sim.c_local <- sim.c_local + 1;
+                  Hashtbl.replace futures fid (`Pending (ref None));
+                  exec_node sim dep c tctx child (fun ok -> resolve_future fid ok);
+                  continue ()
+              | `Local, Trace.Async, None -> failwith "Engine: async call without future id"
+              | `Cm_local base, Trace.Sync, _ -> cm_exec sim dep c tctx child base guarded_continue
+              | `Cm_local base, Trace.Async, Some fid ->
+                  Hashtbl.replace futures fid (`Pending (ref None));
+                  cm_exec sim dep c tctx child base (fun ok -> resolve_future fid ok);
+                  continue ()
+              | `Cm_local _, Trace.Async, None -> failwith "Engine: async call without future id"
+              | `Remote, Trace.Sync, _ ->
+                  (* The caller pays CPU to serialize and issue the RPC. *)
+                  add_compute sim c sim.prm.Params.rpc_client_cpu_us (fun () ->
+                      remote_invoke sim ~caller:(Some node.Calltree.fn) ~kind child guarded_continue)
+              | `Remote, Trace.Async, Some fid ->
+                  Hashtbl.replace futures fid (`Pending (ref None));
+                  add_compute sim c sim.prm.Params.rpc_client_cpu_us (fun () ->
+                      remote_invoke sim ~caller:(Some node.Calltree.fn) ~kind child (fun ok ->
+                          resolve_future fid ok);
+                      continue ())
+              | `Remote, Trace.Async, None -> failwith "Engine: async call without future id"))
+    end
+  in
+  go node.Calltree.phases
+
+(* CM: the callee runs as its own process in the same container, behind the
+   internal gateway: a hop of CPU work plus the process's base memory for
+   the duration. *)
+and cm_exec sim dep c tctx child base_mem k =
+  let hop = sim.prm.Params.cm_call_us in
+  add_compute sim c (hop *. 0.4) (fun () ->
+      schedule sim (hop *. 0.6) (fun () ->
+          if tctx.t_failed || c.dead then k false
+          else if not (add_mem sim dep c base_mem) then ()
+          else
+            exec_node sim dep c tctx child (fun ok ->
+                release_mem c base_mem;
+                k ok)))
+
+and remote_invoke sim ~caller ~kind (child : Calltree.node) k =
+  sim.c_remote <- sim.c_remote + 1;
+  record_span sim ~caller ~callee:child.Calltree.fn ~kind;
+  let leg = Params.remote_leg_us sim.prm ~profiled:sim.profiling ~payload:child.Calltree.req in
+  schedule sim leg (fun () ->
+      dispatch sim child (fun ok ->
+          let back = Params.response_leg_us sim.prm ~payload:child.Calltree.res in
+          schedule sim back (fun () -> k ok)))
+
+and dispatch sim (node : Calltree.node) k =
+  let dep = deployment_for sim node.Calltree.fn in
+  match try_assign sim dep node k with
+  | true -> ()
+  | false -> Queue.add (node, k) dep.waitq
+
+and try_assign sim dep node k =
+  match pick_container sim dep with
+  | Some c ->
+      start_task sim dep c node k;
+      true
+  | None ->
+      (* No pod accepts: scale up if allowed, but keep the request queued at
+         the controller — it will be placed on whichever pod frees first
+         (the new one after its cold start, or an existing one once its CPU
+         slot opens).  The gate avoids a thundering herd of cold starts. *)
+      let alive = List.filter (fun c -> not c.dead) dep.pool in
+      let n_alive = List.length alive in
+      let starting = List.length (List.filter (fun c -> not c.ready) alive) in
+      let slots = Float.max 1.0 (dep.dspec.vcpus *. sim.prm.Params.utilization_threshold) in
+      if
+        n_alive < dep.dspec.max_scale
+        && float_of_int (Queue.length dep.waitq + 1) > float_of_int starting *. slots
+      then ignore (cold_start sim dep);
+      false
+
+and start_task sim dep c node k =
+  sim.next_tid <- sim.next_tid + 1;
+  let tid = sim.next_tid in
+  let tctx = { tid; t_failed = false; guard_counts = Hashtbl.create 4 } in
+  let done_once = ref false in
+  let k1 ok =
+    if not !done_once then begin
+      done_once := true;
+      Hashtbl.remove c.fail_hooks tid;
+      if not c.dead then begin
+        c.n_tasks <- c.n_tasks - 1;
+        if c.n_tasks = 0 then c.idle_since <- sim.now_;
+        c.invocations <- c.invocations + 1;
+        record_resources sim c ~fn:dep.dspec.service
+      end;
+      k ok;
+      drain_queue sim dep
+    end
+  in
+  c.n_tasks <- c.n_tasks + 1;
+  Hashtbl.replace c.fail_hooks tid (fun () ->
+      tctx.t_failed <- true;
+      k1 false);
+  let begin_exec () =
+    if c.dead then k1 false
+    else begin
+      let idle_for = sim.now_ -. c.idle_since in
+      let needs_specialize =
+        c.invocations > 0 && idle_for > sim.prm.Params.idle_specialize_timeout_us && c.n_tasks = 1
+      in
+      let body () =
+        if c.dead then k1 false
+        else
+          (* Receiving the invocation costs CPU before the handler runs. *)
+          add_compute sim c sim.prm.Params.rpc_server_cpu_us (fun () ->
+              if c.dead then k1 false else exec_node sim dep c tctx node (fun ok -> k1 ok))
+      in
+      if needs_specialize then schedule sim sim.prm.Params.specialize_us body else body ()
+    end
+  in
+  if c.ready then begin_exec () else c.backlog <- begin_exec :: c.backlog
+
+and drain_queue sim dep =
+  (* Task completion inside try_assign can re-enter; the guard makes inner
+     calls no-ops so the outer loop's pop/peek stays consistent. *)
+  if not dep.draining then begin
+    dep.draining <- true;
+    let continue = ref true in
+    while !continue && not (Queue.is_empty dep.waitq) do
+      let node, k = Queue.pop dep.waitq in
+      if not (try_assign sim dep node k) then begin
+        (* No capacity: put the request back at the head. *)
+        let rest = Queue.create () in
+        Queue.transfer dep.waitq rest;
+        Queue.add (node, k) dep.waitq;
+        Queue.transfer rest dep.waitq;
+        continue := false
+      end
+    done;
+    dep.draining <- false
+  end
+
+let () =
+  drain_hook :=
+    fun sim c ->
+      match Hashtbl.find_opt sim.deployments c.cspec.service with
+      | Some dep -> drain_queue sim dep
+      | None -> ()
+
+(* §5.5 rolling update: the new version lives under a fresh internal name;
+   one container is started proactively, and the public route flips to the
+   new version only when that container is ready. *)
+let deploy_rolling sim spec =
+  if not (mem_deployment sim spec.service) then deploy sim spec
+  else begin
+    sim.next_cid <- sim.next_cid + 1;
+    let vname = Printf.sprintf "%s#v%d" spec.service sim.next_cid in
+    let dep =
+      { dspec = spec; pool = []; rr = 0; peak = 0; draining = false; waitq = Queue.create () }
+    in
+    Hashtbl.replace sim.deployments vname dep;
+    let c = cold_start sim dep in
+    (* Flip the route when the pre-warmed container comes up.  cold_start
+       already scheduled the readiness event; poll right after it. *)
+    let rec flip_when_ready () =
+      if c.dead then Hashtbl.replace sim.routes spec.service vname (* failed start: flip anyway *)
+      else if c.ready then Hashtbl.replace sim.routes spec.service vname
+      else schedule sim 10_000.0 flip_when_ready
+    in
+    schedule sim 10_000.0 flip_when_ready
+  end
+
+(* --- Client interface --- *)
+
+let calltree sim ~entry ~req =
+  match Hashtbl.find_opt sim.ctree_cache (entry, req) with
+  | Some n -> n
+  | None ->
+      let n = Calltree.build sim.registry ~entry ~req in
+      Hashtbl.replace sim.ctree_cache (entry, req) n;
+      n
+
+let submit sim ~entry ~req ~on_done =
+  let t0 = sim.now_ in
+  let node = calltree sim ~entry ~req in
+  record_span sim ~caller:None ~callee:entry ~kind:Trace.Sync;
+  let leg = Params.remote_leg_us sim.prm ~profiled:sim.profiling ~payload:req in
+  schedule sim leg (fun () ->
+      dispatch sim node (fun ok ->
+          let back = Params.response_leg_us sim.prm ~payload:node.Calltree.res in
+          schedule sim back (fun () ->
+              if ok then sim.c_done <- sim.c_done + 1 else sim.c_fail <- sim.c_fail + 1;
+              on_done ~latency_us:(sim.now_ -. t0) ~ok)))
+
+let run_until sim t =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek sim.events with
+    | Some (ts, _) when ts <= t -> (
+        match Heap.pop sim.events with
+        | Some (ts, thunk) ->
+            sim.now_ <- Float.max sim.now_ ts;
+            thunk ()
+        | None -> continue := false)
+    | Some _ | None ->
+        sim.now_ <- Float.max sim.now_ t;
+        continue := false
+  done
+
+let drain sim =
+  let continue = ref true in
+  while !continue do
+    match Heap.pop sim.events with
+    | Some (ts, thunk) ->
+        sim.now_ <- Float.max sim.now_ ts;
+        thunk ()
+    | None -> continue := false
+  done
+
+let counters sim =
+  {
+    cold_starts = sim.c_cold;
+    oom_kills = sim.c_oom;
+    completed = sim.c_done;
+    failed = sim.c_fail;
+    remote_invocations = sim.c_remote;
+    local_invocations = sim.c_local;
+  }
+
+let pool_size sim dname =
+  match Hashtbl.find_opt sim.deployments dname with
+  | Some dep -> List.length (List.filter (fun c -> not c.dead) dep.pool)
+  | None -> 0
+
+let peak_pool_size sim dname =
+  match Hashtbl.find_opt sim.deployments dname with Some dep -> dep.peak | None -> 0
+
+let total_base_mem_mb sim =
+  Hashtbl.fold
+    (fun _ dep acc ->
+      List.fold_left (fun a c -> if c.dead then a else a +. c.mem_in_use) acc dep.pool)
+    sim.deployments 0.0

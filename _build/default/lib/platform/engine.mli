@@ -1,0 +1,114 @@
+(** Discrete-event serverless platform simulator.
+
+    Models the Figure-1 invocation path (gateway, controller, workers) over
+    deployments of three kinds:
+
+    - {b Plain}: one function per container, the status-quo baseline; every
+      invocation of another function is remote.
+    - {b Merged}: a Quilt-merged subgraph; member-internal calls run
+      in-process (nanoseconds), optionally guarded by §5.6 per-request α
+      counters that overflow to remote; cut edges stay remote.
+    - {b Container_merge}: the CM baseline of §7.2 — every member executes
+      in the same container but as a separate process behind an internal
+      API gateway, paying an in-container hop and a per-process memory
+      footprint.
+
+    Containers are processor-sharing CPU servers (capacity = vCPU limit, at
+    most one core per task) with continuously-accounted memory; exceeding
+    the memory limit OOM-kills the container and fails its in-flight
+    requests, and CPU over-subscription manifests as throttling.  Cold
+    starts charge image pull (size-dependent), boot, and — only for
+    binaries whose HTTP stack was not delayed — the shared-library load.
+    Idle containers lose their specialization and pay to regain it, which
+    reproduces Fission's counter-intuitive latency-vs-load curve (§7.3.2).
+
+    Time is float µs.  All randomness comes from the seed, so runs are
+    reproducible. *)
+
+type mode =
+  | Plain
+  | Merged of {
+      members : string list;
+      guard : caller:string -> callee:string -> int option;
+          (** [Some α]: conditional invocation with that per-request budget;
+              [None]: always local. *)
+    }
+  | Container_merge of { members : string list; member_base_mem : string -> float }
+
+type spec = {
+  service : string;  (** Routable handle; also the deployment name. *)
+  vcpus : float;
+  mem_limit_mb : float;
+  base_mem_mb : float;  (** Resident base (runtime + binary). *)
+  image_mb : float;  (** For the cold-start pull. *)
+  max_scale : int;
+  eager_http : bool;  (** Pays {!Params.t.http_stack_load_us} on cold start. *)
+  mode : mode;
+}
+
+type t
+
+val create :
+  ?seed:int -> ?params:Params.t -> registry:Calltree.registry -> unit -> t
+
+val params : t -> Params.t
+
+val deploy : t -> spec -> unit
+(** Registers (or replaces — Quilt's function-update path, §5.5) a
+    deployment and routes its service name to it.  Replacement is
+    immediate: the old pool is discarded, so the next request cold-starts.
+    Use {!deploy_rolling} for the paper's seamless switch. *)
+
+val deploy_rolling : t -> spec -> unit
+(** §5.5: "while the merged function's container is being deployed, the
+    platform continues to run the previous functions; once the new
+    container is deployed, the runtime seamlessly switches".  Starts the
+    new version in the background (one container is pre-warmed); the route
+    flips to it the moment that container is ready; the old version keeps
+    serving new requests until then and finishes its in-flight work.  Falls
+    back to {!deploy} when the service is not yet deployed. *)
+
+val route : t -> fn:string -> deployment:string -> unit
+(** Points invocations of [fn] at another deployment (how a merged function
+    takes over its subgraph's entry, §5.5). *)
+
+val set_profiling : t -> bool -> unit
+(** The one-bit profiler-enabled token (§3). *)
+
+val tracing : t -> Quilt_tracing.Trace.store
+
+val now : t -> float
+
+val schedule : t -> float -> (unit -> unit) -> unit
+(** [schedule t delay_us thunk]. *)
+
+val submit :
+  t -> entry:string -> req:string -> on_done:(latency_us:float -> ok:bool -> unit) -> unit
+(** Injects a client request now; [on_done] fires when the response reaches
+    the client (or the workflow fails). *)
+
+val run_until : t -> float -> unit
+(** Processes events up to the given absolute time. *)
+
+val drain : t -> unit
+(** Processes events until the queue is empty. *)
+
+type counters = {
+  cold_starts : int;
+  oom_kills : int;
+  completed : int;
+  failed : int;
+  remote_invocations : int;
+  local_invocations : int;
+}
+
+val counters : t -> counters
+
+val pool_size : t -> string -> int
+(** Live containers of a deployment. *)
+
+val peak_pool_size : t -> string -> int
+
+val total_base_mem_mb : t -> float
+(** Σ of resident base memory across all live containers — the
+    resource-efficiency metric of Experiment 2. *)

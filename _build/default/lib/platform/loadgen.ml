@@ -1,0 +1,112 @@
+module Histogram = Quilt_util.Histogram
+module Rng = Quilt_util.Rng
+
+type result = {
+  latencies : Histogram.t;
+  successes : int;
+  failures : int;
+  offered : int;
+  duration_us : float;
+  throughput_rps : float;
+  counters : Engine.counters;
+}
+
+let median_ms r = Histogram.median r.latencies /. 1000.0
+let p99_ms r = Histogram.quantile r.latencies 0.99 /. 1000.0
+let mean_ms r = Histogram.mean r.latencies /. 1000.0
+
+type recorder = {
+  hist : Histogram.t;
+  mutable succ : int;
+  mutable succ_in_window : int;  (* completions before the window closed *)
+  mutable fail : int;
+  mutable sent : int;
+  mutable in_flight : int;
+}
+
+let new_recorder () =
+  { hist = Histogram.create (); succ = 0; succ_in_window = 0; fail = 0; sent = 0; in_flight = 0 }
+
+(* Throughput counts only completions inside the measurement window;
+   latencies of stragglers still count against the requests that were
+   issued in the window (wrk2's coordinated-omission-free accounting). *)
+let finish sim rec_ ~duration_us =
+  Engine.run_until sim (Engine.now sim +. 30_000_000.0);
+  let throughput = float_of_int rec_.succ_in_window /. (duration_us /. 1e6) in
+  {
+    latencies = rec_.hist;
+    successes = rec_.succ;
+    failures = rec_.fail + rec_.in_flight;
+    offered = rec_.sent;
+    duration_us;
+    throughput_rps = throughput;
+    counters = Engine.counters sim;
+  }
+
+let run_closed_loop sim ~entry ~gen_req ~connections ~duration_us ?warmup_us ?(think_us = 0.0) () =
+  let warmup_us = match warmup_us with Some w -> w | None -> duration_us *. 0.1 in
+  let rng = Rng.create 4242 in
+  let rec_ = new_recorder () in
+  let t_start = Engine.now sim in
+  let t_open = t_start +. warmup_us in
+  let t_close = t_open +. duration_us in
+  let rec connection_loop () =
+    if Engine.now sim < t_close then begin
+      let req = gen_req rng in
+      let sent_in_window = Engine.now sim >= t_open in
+      if sent_in_window then begin
+        rec_.sent <- rec_.sent + 1;
+        rec_.in_flight <- rec_.in_flight + 1
+      end;
+      Engine.submit sim ~entry ~req ~on_done:(fun ~latency_us ~ok ->
+          if sent_in_window then begin
+            rec_.in_flight <- rec_.in_flight - 1;
+            if ok then begin
+              rec_.succ <- rec_.succ + 1;
+              if Engine.now sim <= t_close then rec_.succ_in_window <- rec_.succ_in_window + 1;
+              Histogram.record rec_.hist latency_us
+            end
+            else rec_.fail <- rec_.fail + 1
+          end;
+          if think_us > 0.0 then Engine.schedule sim think_us connection_loop else connection_loop ())
+    end
+  in
+  for _ = 1 to connections do
+    connection_loop ()
+  done;
+  Engine.run_until sim t_close;
+  finish sim rec_ ~duration_us
+
+let run_open_loop sim ~entry ~gen_req ~rate_rps ~duration_us ?warmup_us () =
+  let warmup_us = match warmup_us with Some w -> w | None -> duration_us *. 0.1 in
+  let rng = Rng.create 777 in
+  let arrival_rng = Rng.create 778 in
+  let rec_ = new_recorder () in
+  let t_start = Engine.now sim in
+  let t_open = t_start +. warmup_us in
+  let t_close = t_open +. duration_us in
+  let mean_gap = 1e6 /. rate_rps in
+  let rec arrival () =
+    if Engine.now sim < t_close then begin
+      let req = gen_req rng in
+      let in_window = Engine.now sim >= t_open in
+      if in_window then begin
+        rec_.sent <- rec_.sent + 1;
+        rec_.in_flight <- rec_.in_flight + 1
+      end;
+      Engine.submit sim ~entry ~req ~on_done:(fun ~latency_us ~ok ->
+          if in_window then begin
+            rec_.in_flight <- rec_.in_flight - 1;
+            if ok then begin
+              rec_.succ <- rec_.succ + 1;
+              if Engine.now sim <= t_close then rec_.succ_in_window <- rec_.succ_in_window + 1;
+              Histogram.record rec_.hist latency_us
+            end
+            else rec_.fail <- rec_.fail + 1
+          end);
+      Engine.schedule sim (Rng.exponential arrival_rng mean_gap) arrival
+    end
+  in
+  arrival ();
+  Engine.run_until sim t_close;
+  finish sim rec_ ~duration_us

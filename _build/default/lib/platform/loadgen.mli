@@ -1,0 +1,47 @@
+(** Workload generation and measurement — the wrk2 analogue (§7.2).
+
+    Two drivers: a closed loop (a fixed number of connections, each sending
+    its next request when the previous response arrives — Figure 6's
+    1-connection latency runs) and an open loop (Poisson arrivals at a
+    target rate, immune to coordinated omission — the load sweeps of
+    Figures 7 and 8a).  Results are recorded after an optional warm-up
+    window. *)
+
+type result = {
+  latencies : Quilt_util.Histogram.t;  (** µs, successful requests only. *)
+  successes : int;
+  failures : int;
+  offered : int;  (** Requests injected during the measured window. *)
+  duration_us : float;
+  throughput_rps : float;  (** Successful completions per second. *)
+  counters : Engine.counters;  (** Engine counters at the end of the run. *)
+}
+
+val median_ms : result -> float
+val p99_ms : result -> float
+val mean_ms : result -> float
+
+val run_closed_loop :
+  Engine.t ->
+  entry:string ->
+  gen_req:(Quilt_util.Rng.t -> string) ->
+  connections:int ->
+  duration_us:float ->
+  ?warmup_us:float ->
+  ?think_us:float ->
+  unit ->
+  result
+(** [warmup_us] defaults to 10% of the duration; [think_us] (delay between
+    a response and the connection's next request) defaults to 0. *)
+
+val run_open_loop :
+  Engine.t ->
+  entry:string ->
+  gen_req:(Quilt_util.Rng.t -> string) ->
+  rate_rps:float ->
+  duration_us:float ->
+  ?warmup_us:float ->
+  unit ->
+  result
+(** Poisson arrivals.  Requests still in flight when the window closes are
+    given 30 virtual seconds to finish; unfinished ones count as failures. *)

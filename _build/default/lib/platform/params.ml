@@ -1,0 +1,60 @@
+type t = {
+  serialize_us_per_kb : float;
+  serialize_base_us : float;
+  gateway_us : float;
+  router_us : float;
+  rtt_us : float;
+  nginx_us : float;
+  cold_start_pull_us_per_mb : float;
+  cold_start_boot_us : float;
+  http_stack_load_us : float;
+  specialize_us : float;
+  idle_specialize_timeout_us : float;
+  utilization_threshold : float;
+  max_tasks_per_container : int;
+  rpc_server_cpu_us : float;
+  rpc_client_cpu_us : float;
+  cfs_big_seg_us : float;
+  cfs_throttle_efficiency : float;
+  local_call_us : float;
+  cm_call_us : float;
+  cm_gateway_mem_mb : float;
+  resource_sample_every_us : float;
+}
+
+let default =
+  {
+    serialize_us_per_kb = 12.0;
+    serialize_base_us = 40.0;
+    gateway_us = 550.0;
+    router_us = 450.0;
+    rtt_us = 200.0;
+    nginx_us = 220.0;
+    cold_start_pull_us_per_mb = 9_000.0;
+    cold_start_boot_us = 110_000.0;
+    http_stack_load_us = 3_500.0;
+    specialize_us = 3_800.0;
+    idle_specialize_timeout_us = 400_000.0;
+    utilization_threshold = 0.8;
+    max_tasks_per_container = 10;
+    rpc_server_cpu_us = 380.0;
+    rpc_client_cpu_us = 160.0;
+    cfs_big_seg_us = 10_000.0;
+    cfs_throttle_efficiency = 0.55;
+    local_call_us = 0.12;
+    cm_call_us = 1_300.0;
+    cm_gateway_mem_mb = 12.0;
+    resource_sample_every_us = 250_000.0;
+  }
+
+let payload_kb s = float_of_int (String.length s) /. 1024.0
+
+let remote_leg_us p ~profiled ~payload =
+  p.serialize_base_us
+  +. (p.serialize_us_per_kb *. payload_kb payload)
+  +. p.gateway_us +. p.router_us
+  +. (p.rtt_us /. 2.0)
+  +. (if profiled then p.nginx_us else 0.0)
+
+let response_leg_us p ~payload =
+  p.serialize_base_us +. (p.serialize_us_per_kb *. payload_kb payload) +. p.gateway_us +. (p.rtt_us /. 2.0)

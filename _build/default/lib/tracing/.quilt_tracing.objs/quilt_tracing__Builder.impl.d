@@ -1,0 +1,1 @@
+lib/tracing/builder.ml: Array Float Hashtbl List Printf Quilt_dag Trace

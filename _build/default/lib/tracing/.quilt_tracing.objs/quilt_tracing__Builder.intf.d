@@ -1,0 +1,1 @@
+lib/tracing/builder.mli: Quilt_dag Trace

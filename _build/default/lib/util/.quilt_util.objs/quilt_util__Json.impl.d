@@ -1,0 +1,1 @@
+lib/util/json.ml: Buffer Char Float Format List Printf String

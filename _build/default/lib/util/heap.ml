@@ -1,0 +1,77 @@
+type ('p, 'a) entry = { prio : 'p; seq : int; value : 'a }
+
+type ('p, 'a) t = {
+  mutable data : ('p, 'a) entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow h e =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let nd = Array.make ncap e in
+    Array.blit h.data 0 nd 0 h.size;
+    h.data <- nd
+  end
+
+let push h prio value =
+  let e = { prio; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  grow h e;
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  h.data.(!i) <- e;
+  (* Sift up. *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if lt h.data.(!i) h.data.(parent) then begin
+      let tmp = h.data.(parent) in
+      h.data.(parent) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := parent
+    end else continue := false
+  done
+
+let sift_down h =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < h.size && lt h.data.(l) h.data.(!smallest) then smallest := l;
+    if r < h.size && lt h.data.(r) h.data.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = h.data.(!smallest) in
+      h.data.(!smallest) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := !smallest
+    end else continue := false
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek h = if h.size = 0 then None else Some (h.data.(0).prio, h.data.(0).value)
+
+let clear h =
+  h.data <- [||];
+  h.size <- 0

@@ -1,0 +1,25 @@
+(** Binary min-heap with a polymorphic priority.
+
+    Used as the event queue of the discrete-event simulator and as a general
+    priority queue in the decision algorithms.  Priorities compare with
+    [compare] on the priority type; ties break by insertion order so the
+    simulator is deterministic. *)
+
+type ('p, 'a) t
+
+val create : unit -> ('p, 'a) t
+
+val length : ('p, 'a) t -> int
+
+val is_empty : ('p, 'a) t -> bool
+
+val push : ('p, 'a) t -> 'p -> 'a -> unit
+(** [push h prio v] inserts [v] with priority [prio]. *)
+
+val pop : ('p, 'a) t -> ('p * 'a) option
+(** Removes and returns the minimum element, [None] when empty. *)
+
+val peek : ('p, 'a) t -> ('p * 'a) option
+(** Returns the minimum element without removing it. *)
+
+val clear : ('p, 'a) t -> unit

@@ -1,0 +1,107 @@
+(* Log-linear buckets: for each power-of-two range we keep [sub] linear
+   sub-buckets, giving bounded relative error like HdrHistogram. *)
+
+let sub_bits = 6
+let sub = 1 lsl sub_bits (* 64 sub-buckets per octave *)
+let octaves = 30 (* covers up to ~10^9 *)
+
+type t = {
+  buckets : int array; (* octaves * sub *)
+  mutable total : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create () =
+  {
+    buckets = Array.make (octaves * sub) 0;
+    total = 0;
+    sum = 0.0;
+    vmin = infinity;
+    vmax = neg_infinity;
+  }
+
+let index_of v =
+  let v = if v < 1.0 then 1.0 else v in
+  let iv = int_of_float v in
+  let iv = if iv < 1 then 1 else iv in
+  (* octave = position of the highest set bit beyond the sub-bucket range *)
+  let rec msb n acc = if n <= 1 then acc else msb (n lsr 1) (acc + 1) in
+  let m = msb iv 0 in
+  if m < sub_bits then iv (* small values map linearly into the first octave *)
+  else begin
+    let octave = m - sub_bits + 1 in
+    let shifted = iv lsr (octave - 1) in
+    (* shifted is in [sub, 2*sub) *)
+    let idx = (octave * sub) + (shifted - sub) in
+    if idx >= octaves * sub then (octaves * sub) - 1 else idx
+  end
+
+(* Representative value of a bucket: midpoint of its range. *)
+let value_of idx =
+  if idx < sub then float_of_int idx
+  else begin
+    let octave = idx / sub in
+    let pos = idx mod sub in
+    let base = (sub + pos) lsl (octave - 1) in
+    let width = 1 lsl (octave - 1) in
+    float_of_int base +. (float_of_int width /. 2.0)
+  end
+
+let record_n h v n =
+  if n > 0 then begin
+    let idx = index_of v in
+    h.buckets.(idx) <- h.buckets.(idx) + n;
+    h.total <- h.total + n;
+    h.sum <- h.sum +. (v *. float_of_int n);
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v
+  end
+
+let record h v = record_n h v 1
+
+let count h = h.total
+
+let quantile h q =
+  if h.total = 0 then 0.0
+  else begin
+    let target =
+      let t = int_of_float (ceil (q *. float_of_int h.total)) in
+      if t < 1 then 1 else if t > h.total then h.total else t
+    in
+    let acc = ref 0 in
+    let result = ref h.vmax in
+    (try
+       for i = 0 to Array.length h.buckets - 1 do
+         acc := !acc + h.buckets.(i);
+         if !acc >= target then begin
+           result := value_of i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let median h = quantile h 0.5
+
+let mean h = if h.total = 0 then 0.0 else h.sum /. float_of_int h.total
+
+let max_value h = if h.total = 0 then 0.0 else h.vmax
+
+let min_value h = if h.total = 0 then 0.0 else h.vmin
+
+let merge_into ~dst src =
+  Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) src.buckets;
+  dst.total <- dst.total + src.total;
+  dst.sum <- dst.sum +. src.sum;
+  if src.vmin < dst.vmin then dst.vmin <- src.vmin;
+  if src.vmax > dst.vmax then dst.vmax <- src.vmax
+
+let reset h =
+  Array.fill h.buckets 0 (Array.length h.buckets) 0;
+  h.total <- 0;
+  h.sum <- 0.0;
+  h.vmin <- infinity;
+  h.vmax <- neg_infinity

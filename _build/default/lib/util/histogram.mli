@@ -1,0 +1,38 @@
+(** HDR-style latency histogram.
+
+    Records values (latencies in microseconds by convention) into
+    logarithmically-spaced buckets with bounded relative error, like the
+    HdrHistogram that wrk2 uses.  Quantile queries are exact to the bucket
+    resolution (~1% relative error with the default configuration). *)
+
+type t
+
+val create : unit -> t
+(** A histogram covering [\[1, 10^9\]] microseconds with 64 sub-buckets per
+    power-of-two bucket. *)
+
+val record : t -> float -> unit
+(** [record h v] records one observation.  Values below 1 are clamped to 1;
+    values above the range are clamped to the maximum trackable value. *)
+
+val record_n : t -> float -> int -> unit
+(** [record_n h v n] records [n] identical observations; used for
+    coordinated-omission correction. *)
+
+val count : t -> int
+
+val quantile : t -> float -> float
+(** [quantile h q] with [q] in [\[0,1\]]; returns 0 on an empty histogram. *)
+
+val median : t -> float
+
+val mean : t -> float
+
+val max_value : t -> float
+
+val min_value : t -> float
+
+val merge_into : dst:t -> t -> unit
+(** Accumulates the source histogram's buckets into [dst]. *)
+
+val reset : t -> unit

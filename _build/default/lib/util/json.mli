@@ -1,0 +1,49 @@
+(** Minimal JSON implementation.
+
+    Serverless functions in Quilt exchange exactly one data type: JSON-encoded
+    strings (§5).  This module is the substrate for those payloads: a value
+    type, a recursive-descent parser, and a compact printer.  No external
+    dependency is used. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} with a human-readable position/diagnostic. *)
+
+val of_string : string -> t
+(** Parses a JSON document.  Raises {!Parse_error} on malformed input. *)
+
+val to_string : t -> string
+(** Compact (no extra whitespace) rendering.  Strings are escaped per RFC
+    8259; [of_string (to_string v)] round-trips for all values this module
+    can produce. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer that renders the compact form. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object fields compare order-insensitively. *)
+
+(** {1 Accessors}
+
+    These are total: they return a default or option instead of raising, which
+    matches how the toy serverless functions consume loosely-typed payloads. *)
+
+val member : string -> t -> t
+(** [member k v] is the field [k] of object [v], or [Null]. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_list : t -> t list
+(** [to_list v] is the elements of a [List], or []. *)
+
+val obj : (string * t) list -> t
+val str : string -> t
+val int : int -> t

@@ -1,0 +1,31 @@
+let sum xs = List.fold_left ( +. ) 0.0 xs
+
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> sum xs /. float_of_int (List.length xs)
+
+let stdev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+      sqrt (sq /. float_of_int (List.length xs - 1))
+
+let percentile xs q =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let rank = int_of_float (ceil (q *. float_of_int n)) in
+      let rank = if rank < 1 then 1 else if rank > n then n else rank in
+      a.(rank - 1)
+
+let median xs = percentile xs 0.5
+
+let minimum xs = match xs with [] -> 0.0 | x :: rest -> List.fold_left min x rest
+
+let maximum xs = match xs with [] -> 0.0 | x :: rest -> List.fold_left max x rest

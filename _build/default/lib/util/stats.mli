@@ -1,0 +1,21 @@
+(** Small descriptive-statistics helpers used by benches and tests. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val stdev : float list -> float
+(** Sample standard deviation; 0 with fewer than two samples. *)
+
+val percentile : float list -> float -> float
+(** [percentile xs q] with [q] in [\[0,1\]], nearest-rank on a sorted copy;
+    0 on the empty list. *)
+
+val median : float list -> float
+
+val minimum : float list -> float
+(** 0 on the empty list. *)
+
+val maximum : float list -> float
+(** 0 on the empty list. *)
+
+val sum : float list -> float

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest List Printf Quilt_apps Quilt_dag Quilt_lang Quilt_platform Quilt_util String

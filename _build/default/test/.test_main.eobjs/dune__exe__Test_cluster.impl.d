@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array List Printf QCheck QCheck_alcotest Quilt_cluster Quilt_dag Quilt_util

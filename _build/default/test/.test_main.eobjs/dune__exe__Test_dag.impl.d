@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array List QCheck QCheck_alcotest Quilt_dag Quilt_util String Test

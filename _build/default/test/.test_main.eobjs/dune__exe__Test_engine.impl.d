@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Float List Printf Quilt_apps Quilt_core Quilt_dag Quilt_lang Quilt_platform Quilt_tracing

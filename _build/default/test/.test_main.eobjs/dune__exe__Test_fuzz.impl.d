@@ -1,0 +1,1 @@
+test/test_fuzz.ml: List Printf QCheck QCheck_alcotest Quilt_ir Quilt_lang Quilt_merge Quilt_util

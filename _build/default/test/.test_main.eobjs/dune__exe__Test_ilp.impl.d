@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Float List QCheck QCheck_alcotest Quilt_ilp Quilt_util Test

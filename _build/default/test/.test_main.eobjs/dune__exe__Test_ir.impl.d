@@ -1,0 +1,1 @@
+test/test_ir.ml: Abi Alcotest Hashtbl Int64 Interp Ir Linker List Parser Pass_dce Pass_delayhttp Pass_rename Pass_simplify Pp Printf Quilt_ir Quilt_util String Verify

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Eval Frontend List Option Printf QCheck QCheck_alcotest Quilt_ir Quilt_lang Quilt_util String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List Test_apps Test_cluster Test_dag Test_engine Test_fuzz Test_ilp Test_ir Test_lang Test_merge Test_platform Test_util

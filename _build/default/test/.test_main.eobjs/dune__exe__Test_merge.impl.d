@@ -1,0 +1,1 @@
+test/test_merge.ml: Alcotest Ast Eval Frontend Hashtbl List Option Printf Quilt_ir Quilt_lang Quilt_merge Quilt_util String

@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Array List Printf Quilt_apps Quilt_cluster Quilt_core Quilt_dag Quilt_lang Quilt_platform Quilt_tracing Quilt_util

@@ -1,0 +1,164 @@
+(* Tests for quilt_apps: the DeathStarBench ports match the paper's
+   workflow shapes (function counts per Appendix E, shared callees, async
+   variants), the special workloads have the documented structure, and the
+   workflow helpers behave. *)
+
+module Ast = Quilt_lang.Ast
+module Callgraph = Quilt_dag.Callgraph
+module Workflow = Quilt_apps.Workflow
+module Deathstar = Quilt_apps.Deathstar
+module Special = Quilt_apps.Special
+module Calltree = Quilt_platform.Calltree
+module Rng = Quilt_util.Rng
+
+(* Appendix E's function counts. *)
+let expected_counts =
+  [
+    ("compose-post", 11);
+    ("follow-with-uname", 4);
+    ("read-home-timeline", 2);
+    ("compose-review", 15);
+    ("page-service", 6);
+    ("read-user-review", 2);
+    ("search-handler", 6);
+    ("reservation-handler", 3);
+    ("nearby-cinema", 2);
+  ]
+
+let test_function_counts_match_appendix_e () =
+  let wfs = Deathstar.all ~async:false () in
+  List.iter
+    (fun (name, count) ->
+      match List.find_opt (fun w -> w.Workflow.wf_name = name) wfs with
+      | Some wf -> Alcotest.(check int) name count (List.length wf.Workflow.functions)
+      | None -> Alcotest.fail ("missing workflow " ^ name))
+    expected_counts;
+  Alcotest.(check int) "nine workflows" 9 (List.length wfs)
+
+let test_all_functions_typecheck () =
+  List.iter
+    (fun wf -> List.iter Ast.check_fn wf.Workflow.functions)
+    (Deathstar.all ~async:false () @ Deathstar.all ~async:true ()
+    @ [ Special.modified_nearby_cinema (); Special.noop (); Special.cross_language ();
+        Special.fan_out ~callee_mem_mb:14 () ])
+
+let test_entry_is_first_function () =
+  List.iter
+    (fun wf ->
+      match wf.Workflow.functions with
+      | first :: _ -> Alcotest.(check string) wf.Workflow.wf_name wf.Workflow.entry first.Ast.fn_name
+      | [] -> Alcotest.fail "empty workflow")
+    (Deathstar.all ~async:false ())
+
+let test_compose_review_shared_callee () =
+  (* Figure 3: compose-and-upload is called by all five upload stages. *)
+  let wfs = Deathstar.media ~async:false () in
+  let cr = List.find (fun w -> w.Workflow.wf_name = "compose-review") wfs in
+  let callers =
+    List.filter
+      (fun (_, dst, _) -> dst = "compose-and-upload")
+      cr.Workflow.code_edges
+  in
+  Alcotest.(check int) "five callers of compose-and-upload" 5 (List.length callers)
+
+let test_async_variant_uses_async_edges () =
+  let edges_of async =
+    let wfs = Deathstar.social_network ~async () in
+    let cp = List.find (fun w -> w.Workflow.wf_name = "compose-post") wfs in
+    cp.Workflow.code_edges
+  in
+  let is_async (_, _, k) = k = Callgraph.Async in
+  Alcotest.(check int) "sync variant has no async edges" 0
+    (List.length (List.filter is_async (edges_of false)));
+  Alcotest.(check bool) "async variant has async edges" true
+    (List.exists is_async (edges_of true))
+
+let test_hotel_functions_run_for_seconds () =
+  let wfs = Deathstar.hotel () in
+  let reg = Workflow.registry wfs in
+  List.iter
+    (fun wf ->
+      let node = Calltree.build reg ~entry:wf.Workflow.entry ~req:(wf.Workflow.gen_req (Rng.create 1)) in
+      Alcotest.(check bool)
+        (wf.Workflow.wf_name ^ " takes over a second of CPU")
+        true
+        (Calltree.total_cpu_us node > 1_000_000.0))
+    wfs
+
+let test_sn_mr_functions_run_in_ms () =
+  let wfs = Deathstar.social_network ~async:false () @ Deathstar.media ~async:false () in
+  let reg = Workflow.registry wfs in
+  List.iter
+    (fun wf ->
+      let node = Calltree.build reg ~entry:wf.Workflow.entry ~req:(wf.Workflow.gen_req (Rng.create 1)) in
+      Alcotest.(check bool)
+        (wf.Workflow.wf_name ^ " total CPU below 50ms")
+        true
+        (Calltree.total_cpu_us node < 50_000.0))
+    wfs
+
+let test_modified_nearby_cinema_shape () =
+  let wf = Special.modified_nearby_cinema () in
+  Alcotest.(check int) "9 functions" 9 (List.length wf.Workflow.functions);
+  let gnps = List.filter (fun f -> String.length f.Ast.fn_name >= 3 && String.sub f.Ast.fn_name 0 3 = "gnp") wf.Workflow.functions in
+  Alcotest.(check int) "6 GNP clones" 6 (List.length gnps);
+  (* Entry spawns the aggregators in parallel (the throttling scenario). *)
+  let entry = Workflow.lookup wf "nearby-cinema-mod" in
+  let asyncs = List.filter (fun (_, k) -> k = `Async) (Ast.invocations entry.Ast.body) in
+  Alcotest.(check int) "2 parallel aggregators" 2 (List.length asyncs)
+
+let test_gen_req_deterministic_per_seed () =
+  let wf = Special.noop () in
+  let a = wf.Workflow.gen_req (Rng.create 5) in
+  let b = wf.Workflow.gen_req (Rng.create 5) in
+  Alcotest.(check string) "same seed, same request" a b
+
+let test_registry_raises_on_unknown () =
+  let reg = Workflow.registry (Deathstar.hotel ()) in
+  match reg "no-such-service" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+let test_std_fn_repeat_calls () =
+  let fn =
+    Workflow.std_fn ~name:"rep" ~lang:"rust"
+      ~profile:{ Workflow.compute_us = 0; db_us = 0; mem_mb = 0 }
+      ~children:[ "child" ] ~repeat:[ ("child", 2) ] ()
+  in
+  Alcotest.(check int) "three invocations of child" 3
+    (List.length (List.filter (fun (c, _) -> c = "child") (Ast.invocations fn.Ast.body)))
+
+let test_workflow_responses_are_json () =
+  (* Every workflow's end-to-end response parses as JSON. *)
+  let wfs = Deathstar.all ~async:false () in
+  let reg = Workflow.registry wfs in
+  List.iter
+    (fun wf ->
+      let node = Calltree.build reg ~entry:wf.Workflow.entry ~req:(wf.Workflow.gen_req (Rng.create 9)) in
+      match Quilt_util.Json.of_string (Calltree.response node) with
+      | _ -> ()
+      | exception Quilt_util.Json.Parse_error m ->
+          Alcotest.fail (Printf.sprintf "%s response not JSON: %s" wf.Workflow.wf_name m))
+    wfs
+
+let suite =
+  [
+    ( "apps.deathstar",
+      [
+        Alcotest.test_case "function counts (Appendix E)" `Quick test_function_counts_match_appendix_e;
+        Alcotest.test_case "all functions type-check" `Quick test_all_functions_typecheck;
+        Alcotest.test_case "entry first" `Quick test_entry_is_first_function;
+        Alcotest.test_case "compose-and-upload shared" `Quick test_compose_review_shared_callee;
+        Alcotest.test_case "async variants" `Quick test_async_variant_uses_async_edges;
+        Alcotest.test_case "hotel is slow" `Quick test_hotel_functions_run_for_seconds;
+        Alcotest.test_case "sn/mr are fast" `Quick test_sn_mr_functions_run_in_ms;
+        Alcotest.test_case "responses are json" `Quick test_workflow_responses_are_json;
+      ] );
+    ( "apps.special",
+      [
+        Alcotest.test_case "modified nearby-cinema shape" `Quick test_modified_nearby_cinema_shape;
+        Alcotest.test_case "gen_req deterministic" `Quick test_gen_req_deterministic_per_seed;
+        Alcotest.test_case "registry unknown" `Quick test_registry_raises_on_unknown;
+        Alcotest.test_case "std_fn repeat" `Quick test_std_fn_repeat_calls;
+      ] );
+  ]

@@ -1,0 +1,183 @@
+(* Tests for quilt_dag: call-graph invariants, alpha, descendants, generator. *)
+
+module Callgraph = Quilt_dag.Callgraph
+module Gen = Quilt_dag.Gen
+module Rng = Quilt_util.Rng
+
+let mk_node id name = { Callgraph.id; name; mem_mb = 10.0; cpu = 1.0; mergeable = true }
+
+let simple_graph () =
+  (* root -> a -> c ; root -> b ; b -> c *)
+  let nodes = [| mk_node 0 "root"; mk_node 1 "a"; mk_node 2 "b"; mk_node 3 "c" |] in
+  let edges =
+    [
+      { Callgraph.src = 0; dst = 1; weight = 10; kind = Callgraph.Sync };
+      { Callgraph.src = 0; dst = 2; weight = 20; kind = Callgraph.Async };
+      { Callgraph.src = 1; dst = 3; weight = 10; kind = Callgraph.Sync };
+      { Callgraph.src = 2; dst = 3; weight = 20; kind = Callgraph.Sync };
+    ]
+  in
+  Callgraph.make ~nodes ~edges ~root:0 ~invocations:10
+
+let test_make_valid () =
+  let g = simple_graph () in
+  Alcotest.(check int) "nodes" 4 (Callgraph.n_nodes g);
+  Alcotest.(check int) "succs of root" 2 (List.length (Callgraph.succs g 0));
+  Alcotest.(check int) "preds of c" 2 (List.length (Callgraph.preds g 3))
+
+let test_make_rejects_cycle () =
+  let nodes = [| mk_node 0 "r"; mk_node 1 "a" |] in
+  let edges =
+    [
+      { Callgraph.src = 0; dst = 1; weight = 1; kind = Callgraph.Sync };
+      { Callgraph.src = 1; dst = 0; weight = 1; kind = Callgraph.Sync };
+    ]
+  in
+  match Callgraph.make ~nodes ~edges ~root:0 ~invocations:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected cycle rejection"
+
+let test_make_rejects_unreachable () =
+  let nodes = [| mk_node 0 "r"; mk_node 1 "a"; mk_node 2 "island" |] in
+  let edges = [ { Callgraph.src = 0; dst = 1; weight = 1; kind = Callgraph.Sync } ] in
+  match Callgraph.make ~nodes ~edges ~root:0 ~invocations:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected unreachable rejection"
+
+let test_make_rejects_bad_ids () =
+  let nodes = [| mk_node 1 "r" |] in
+  match Callgraph.make ~nodes ~edges:[] ~root:0 ~invocations:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected dense-id rejection"
+
+let test_alpha_ceiling () =
+  let g = simple_graph () in
+  (* N = 10; weights 10 and 20 give alphas 1 and 2. *)
+  let alphas = List.map (fun e -> Callgraph.alpha g e) g.Callgraph.edges in
+  Alcotest.(check (list int)) "alphas" [ 1; 2; 1; 2 ] alphas
+
+let test_alpha_rounds_up () =
+  let nodes = [| mk_node 0 "r"; mk_node 1 "a" |] in
+  let edges = [ { Callgraph.src = 0; dst = 1; weight = 11; kind = Callgraph.Sync } ] in
+  let g = Callgraph.make ~nodes ~edges ~root:0 ~invocations:10 in
+  Alcotest.(check int) "ceil(11/10) = 2" 2 (Callgraph.alpha g (List.hd g.Callgraph.edges))
+
+let test_topo_order () =
+  let g = simple_graph () in
+  let order = Callgraph.topo_order g in
+  let pos = Array.make 4 0 in
+  List.iteri (fun i v -> pos.(v) <- i) order;
+  List.iter
+    (fun e -> Alcotest.(check bool) "edge respects topo order" true (pos.(e.Callgraph.src) < pos.(e.Callgraph.dst)))
+    g.Callgraph.edges
+
+let test_descendant_sets () =
+  let g = simple_graph () in
+  let d = Callgraph.descendant_sets g in
+  Alcotest.(check bool) "root reaches all" true (Array.for_all (fun b -> b) d.(0));
+  Alcotest.(check bool) "a reaches c" true d.(1).(3);
+  Alcotest.(check bool) "a does not reach b" false d.(1).(2);
+  Alcotest.(check bool) "c reaches only itself" true (d.(3) = [| false; false; false; true |])
+
+let test_weighted_in_degree () =
+  let g = simple_graph () in
+  Alcotest.(check (float 1e-9)) "W_in(c)" 30.0 (Callgraph.weighted_in_degree g 3);
+  Alcotest.(check (float 1e-9)) "W_in(root)" 0.0 (Callgraph.weighted_in_degree g 0)
+
+let test_find_node () =
+  let g = simple_graph () in
+  (match Callgraph.find_node g "b" with
+  | Some n -> Alcotest.(check int) "id of b" 2 n.Callgraph.id
+  | None -> Alcotest.fail "b not found");
+  Alcotest.(check bool) "missing" true (Callgraph.find_node g "zzz" = None)
+
+let test_line_graph () =
+  let g = Gen.line_graph ~n:5 ~cpu:1.0 ~mem_mb:10.0 ~weight:1 in
+  Alcotest.(check int) "5 nodes" 5 (Callgraph.n_nodes g);
+  Alcotest.(check int) "4 edges" 4 (List.length g.Callgraph.edges)
+
+let test_diamond () =
+  let g = Gen.diamond () in
+  Alcotest.(check int) "4 nodes" 4 (Callgraph.n_nodes g);
+  let async = List.filter (fun e -> e.Callgraph.kind = Callgraph.Async) g.Callgraph.edges in
+  Alcotest.(check int) "2 async edges" 2 (List.length async)
+
+let test_random_rdag_properties () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 20 do
+    let n = Rng.int_in rng 5 40 in
+    let g, limits = Gen.random_rdag rng ~n () in
+    Alcotest.(check int) "n nodes" n (Callgraph.n_nodes g);
+    (* Validation already checks connectivity/acyclicity in make; re-derive
+       the edge-count recipe. *)
+    let n_edges = List.length g.Callgraph.edges in
+    Alcotest.(check bool) "at least spanning edges" true (n_edges >= n - 1);
+    Alcotest.(check bool) "positive limits" true (limits.Gen.max_cpu > 0.0 && limits.Gen.max_mem_mb > 0.0)
+  done
+
+let test_random_rdag_needs_two_containers () =
+  (* The generator promises the whole graph exceeds the limits, so at least
+     two containers are needed. *)
+  let rng = Rng.create 5 in
+  for _ = 1 to 10 do
+    let g, limits = Gen.random_rdag rng ~n:12 () in
+    let root = Callgraph.node g g.Callgraph.root in
+    let cpu = ref root.Callgraph.cpu and mem = ref root.Callgraph.mem_mb in
+    List.iter
+      (fun e ->
+        let a = float_of_int (Callgraph.alpha g e) in
+        let callee = Callgraph.node g e.Callgraph.dst in
+        cpu := !cpu +. (a *. callee.Callgraph.cpu);
+        mem := !mem +. callee.Callgraph.mem_mb;
+        if e.Callgraph.kind = Callgraph.Async then mem := !mem +. ((a -. 1.0) *. callee.Callgraph.mem_mb))
+      g.Callgraph.edges;
+    Alcotest.(check bool) "whole graph exceeds some limit" true
+      (!cpu > limits.Gen.max_cpu || !mem > limits.Gen.max_mem_mb)
+  done
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i = if i + nn > nh then false else String.sub hay i nn = needle || scan (i + 1) in
+  scan 0
+
+let test_to_dot_contains_nodes () =
+  let g = simple_graph () in
+  let dot = Callgraph.to_dot g in
+  Alcotest.(check bool) "mentions root" true (contains_substring dot "root");
+  Alcotest.(check bool) "has async style" true (contains_substring dot "dashed")
+
+let prop_random_rdag_acyclic_connected =
+  let open QCheck in
+  Test.make ~name:"random rdag is always valid (make validates)" ~count:50
+    (int_range 2 60)
+    (fun n ->
+      let rng = Rng.create (n * 31) in
+      let g, _ = Quilt_dag.Gen.random_rdag rng ~n () in
+      (* topo_order raises on cycles; make already validated reachability. *)
+      List.length (Callgraph.topo_order g) = n)
+
+let suite =
+  [
+    ( "dag.callgraph",
+      [
+        Alcotest.test_case "make valid" `Quick test_make_valid;
+        Alcotest.test_case "rejects cycle" `Quick test_make_rejects_cycle;
+        Alcotest.test_case "rejects unreachable" `Quick test_make_rejects_unreachable;
+        Alcotest.test_case "rejects bad ids" `Quick test_make_rejects_bad_ids;
+        Alcotest.test_case "alpha" `Quick test_alpha_ceiling;
+        Alcotest.test_case "alpha rounds up" `Quick test_alpha_rounds_up;
+        Alcotest.test_case "topo order" `Quick test_topo_order;
+        Alcotest.test_case "descendant sets" `Quick test_descendant_sets;
+        Alcotest.test_case "weighted in-degree" `Quick test_weighted_in_degree;
+        Alcotest.test_case "find node" `Quick test_find_node;
+        Alcotest.test_case "to_dot" `Quick test_to_dot_contains_nodes;
+      ] );
+    ( "dag.gen",
+      [
+        Alcotest.test_case "line graph" `Quick test_line_graph;
+        Alcotest.test_case "diamond" `Quick test_diamond;
+        Alcotest.test_case "random rdag properties" `Quick test_random_rdag_properties;
+        Alcotest.test_case "random rdag needs 2 containers" `Quick test_random_rdag_needs_two_containers;
+        QCheck_alcotest.to_alcotest prop_random_rdag_acyclic_connected;
+      ] );
+  ]

@@ -1,0 +1,422 @@
+(* Focused unit tests for the simulator's mechanics: processor-sharing CPU,
+   CFS throttling of long bursts, cold-start composition, container reuse
+   and specialization, routing, and the load generators' accounting.  Also
+   covers the tracing builder's aggregation details. *)
+
+module Engine = Quilt_platform.Engine
+module Loadgen = Quilt_platform.Loadgen
+module Params = Quilt_platform.Params
+module Trace = Quilt_tracing.Trace
+module Builder = Quilt_tracing.Builder
+module Callgraph = Quilt_dag.Callgraph
+module Workflow = Quilt_apps.Workflow
+module Special = Quilt_apps.Special
+module Quilt = Quilt_core.Quilt
+module Ast = Quilt_lang.Ast
+
+(* A configurable single function: the request selects the work. *)
+let dial_fn =
+  {
+    Ast.fn_name = "dial";
+    fn_lang = "rust";
+    mergeable = true;
+    body =
+      Ast.Seq
+        ( Ast.Burn (Ast.Json_get_int (Ast.Var "req", "cpu")),
+          Ast.Seq
+            ( Ast.Sleep_io (Ast.Json_get_int (Ast.Var "req", "io")),
+              Ast.Seq
+                (Ast.Use_mem (Ast.Json_get_int (Ast.Var "req", "mem")), Ast.Json_empty) ) );
+  }
+
+let dial_wf =
+  {
+    Workflow.wf_name = "dial";
+    entry = "dial";
+    functions = [ dial_fn ];
+    gen_req = (fun _ -> "{\"cpu\":1000,\"io\":0,\"mem\":0}");
+    code_edges = [];
+  }
+
+let deploy_dial ?(vcpus = 2.0) ?(mem_limit = 128.0) ?(max_scale = 10) engine =
+  Engine.deploy engine
+    {
+      Engine.service = "dial";
+      vcpus;
+      mem_limit_mb = mem_limit;
+      base_mem_mb = 8.0;
+      image_mb = 30.0;
+      max_scale;
+      eager_http = false;
+      mode = Engine.Plain;
+    }
+
+let fresh_dial ?vcpus ?mem_limit ?max_scale () =
+  let engine = Engine.create ~registry:(Workflow.registry [ dial_wf ]) () in
+  deploy_dial ?vcpus ?mem_limit ?max_scale engine;
+  engine
+
+let req ~cpu ~io ~mem = Printf.sprintf "{\"cpu\":%d,\"io\":%d,\"mem\":%d}" cpu io mem
+
+let run_n engine reqs =
+  (* Submits all requests at t=now, returns latencies in submission order. *)
+  let results = Array.make (List.length reqs) (0.0, false) in
+  List.iteri
+    (fun i r ->
+      Engine.submit engine ~entry:"dial" ~req:r ~on_done:(fun ~latency_us ~ok ->
+          results.(i) <- (latency_us, ok)))
+    reqs;
+  Engine.drain engine;
+  Array.to_list results
+
+let warm engine = ignore (run_n engine [ req ~cpu:1 ~io:0 ~mem:0 ])
+
+(* --- CPU model --- *)
+
+let test_ps_sharing_two_tasks_one_core () =
+  let engine = fresh_dial ~vcpus:1.0 () in
+  warm engine;
+  (* One 10ms task alone takes ~10ms + overheads... *)
+  let solo =
+    match run_n engine [ req ~cpu:10_000 ~io:0 ~mem:0 ] with
+    | [ (l, true) ] -> l
+    | _ -> Alcotest.fail "solo failed"
+  in
+  (* ...two submitted together on a 1-vCPU container share it.  The second
+     request lands on a second container only if the first rejects — with
+     cpu-based acceptance at threshold 0.8 and 1 vCPU, slots = 1, so the
+     second waits or cold starts.  Use a 2-vCPU container to host both. *)
+  let engine2 = fresh_dial ~vcpus:2.0 () in
+  warm engine2;
+  let both = run_n engine2 [ req ~cpu:10_000 ~io:0 ~mem:0; req ~cpu:10_000 ~io:0 ~mem:0 ] in
+  List.iter
+    (fun (l, ok) ->
+      Alcotest.(check bool) "ok" true ok;
+      (* Two tasks, two vCPUs: no slowdown; latency close to solo. *)
+      Alcotest.(check bool) "parallel on 2 vCPUs" true (Float.abs (l -. solo) < 2_000.0))
+    both
+
+(* io-first then a long burst: concurrent requests are admitted while
+   sleeping (zero CPU), then burst together — the over-subscription that
+   triggers CFS throttling. *)
+let burst_fn =
+  {
+    Ast.fn_name = "burst";
+    fn_lang = "rust";
+    mergeable = true;
+    body =
+      Ast.Seq
+        ( Ast.Sleep_io (Ast.Json_get_int (Ast.Var "req", "io")),
+          Ast.Seq (Ast.Burn (Ast.Json_get_int (Ast.Var "req", "cpu")), Ast.Json_empty) );
+  }
+
+let burst_wf =
+  {
+    Workflow.wf_name = "burst";
+    entry = "burst";
+    functions = [ burst_fn ];
+    gen_req = (fun _ -> "{\"io\":0,\"cpu\":1000}");
+    code_edges = [];
+  }
+
+let test_cfs_throttle_applies_to_long_bursts () =
+  let fresh_burst ~vcpus ~max_scale =
+    let engine = Engine.create ~registry:(Workflow.registry [ burst_wf ]) () in
+    Engine.deploy engine
+      {
+        Engine.service = "burst";
+        vcpus;
+        mem_limit_mb = 128.0;
+        base_mem_mb = 8.0;
+        image_mb = 30.0;
+        max_scale;
+        eager_http = false;
+        mode = Engine.Plain;
+      };
+    engine
+  in
+  let run_burst engine reqs =
+    let results = Array.make (List.length reqs) (0.0, false) in
+    List.iteri
+      (fun i r ->
+        Engine.submit engine ~entry:"burst" ~req:r ~on_done:(fun ~latency_us ~ok ->
+            results.(i) <- (latency_us, ok)))
+      reqs;
+    Engine.drain engine;
+    Array.to_list results
+  in
+  let breq ~io ~cpu = Printf.sprintf "{\"io\":%d,\"cpu\":%d}" io cpu in
+  let engine = fresh_burst ~vcpus:2.0 ~max_scale:1 in
+  ignore (run_burst engine [ breq ~io:0 ~cpu:1 ]);
+  let solo =
+    match run_burst engine [ breq ~io:0 ~cpu:40_000 ] with
+    | [ (l, true) ] -> l
+    | _ -> Alcotest.fail "solo failed"
+  in
+  (* Six requests admitted during their 30ms sleeps, bursting together:
+     6 > 2 + 0.9, so each long seg runs below its fair share. *)
+  let six = run_burst engine (List.init 6 (fun _ -> breq ~io:30_000 ~cpu:40_000)) in
+  let max_lat = List.fold_left (fun acc (l, _) -> Float.max acc l) 0.0 six in
+  let fair_share = (6.0 *. 40_000.0 /. 2.0) +. 30_000.0 +. 5_000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "throttled beyond fair share (solo %.1fms, loaded %.1fms)" (solo /. 1000.0)
+       (max_lat /. 1000.0))
+    true
+    (max_lat > fair_share)
+
+let test_io_does_not_consume_cpu () =
+  let engine = fresh_dial ~vcpus:1.0 ~max_scale:1 () in
+  warm engine;
+  (* Many concurrent sleepers on one 1-vCPU container: latency stays ~io. *)
+  let rs = run_n engine (List.init 8 (fun _ -> req ~cpu:100 ~io:20_000 ~mem:0)) in
+  List.iter
+    (fun (l, ok) ->
+      Alcotest.(check bool) "ok" true ok;
+      Alcotest.(check bool) "sleepers overlap" true (l < 40_000.0))
+    rs
+
+(* --- Cold start composition --- *)
+
+let test_cold_start_scales_with_image () =
+  let latency_for image_mb eager =
+    let engine = Engine.create ~registry:(Workflow.registry [ dial_wf ]) () in
+    Engine.deploy engine
+      {
+        Engine.service = "dial";
+        vcpus = 2.0;
+        mem_limit_mb = 128.0;
+        base_mem_mb = 8.0;
+        image_mb;
+        max_scale = 10;
+        eager_http = eager;
+        mode = Engine.Plain;
+      };
+    match run_n engine [ req ~cpu:0 ~io:0 ~mem:0 ] with
+    | [ (l, true) ] -> l
+    | _ -> Alcotest.fail "request failed"
+  in
+  let small = latency_for 10.0 false in
+  let big = latency_for 60.0 false in
+  let prm = Params.default in
+  Alcotest.(check bool) "bigger image, slower cold start" true (big > small);
+  Alcotest.(check (float 1.0)) "pull-time difference" (50.0 *. prm.Params.cold_start_pull_us_per_mb)
+    (big -. small);
+  (* Eager HTTP loading adds the shared-library time. *)
+  let eager = latency_for 10.0 true in
+  Alcotest.(check (float 1.0)) "http stack load" prm.Params.http_stack_load_us (eager -. small)
+
+let test_rolling_update_is_seamless () =
+  let engine = fresh_dial () in
+  warm engine;
+  (* A plain re-deploy forces the next request through a cold start... *)
+  let cold_engine = fresh_dial () in
+  warm cold_engine;
+  deploy_dial cold_engine;
+  let lat_cold, _ = (match run_n cold_engine [ req ~cpu:0 ~io:0 ~mem:0 ] with [ r ] -> r | _ -> assert false) in
+  Alcotest.(check bool) "plain replace cold starts" true (lat_cold > 100_000.0);
+  (* ...while a rolling update keeps serving warm from the old version. *)
+  Engine.deploy_rolling engine
+    {
+      Engine.service = "dial";
+      vcpus = 2.0;
+      mem_limit_mb = 128.0;
+      base_mem_mb = 9.0;
+      image_mb = 40.0;
+      max_scale = 10;
+      eager_http = false;
+      mode = Engine.Plain;
+    };
+  let lat_during, ok = (match run_n engine [ req ~cpu:0 ~io:0 ~mem:0 ] with [ r ] -> r | _ -> assert false) in
+  Alcotest.(check bool) "served during the update" true ok;
+  Alcotest.(check bool) "no cold start visible to clients" true (lat_during < 10_000.0);
+  (* After the new container is up the route has flipped; requests still
+     work and the background start was the only extra cold start. *)
+  Engine.run_until engine (Engine.now engine +. 2_000_000.0);
+  let lat_after, ok2 = (match run_n engine [ req ~cpu:0 ~io:0 ~mem:0 ] with [ r ] -> r | _ -> assert false) in
+  Alcotest.(check bool) "served after the flip" true ok2;
+  Alcotest.(check bool) "warm after the flip" true (lat_after < 10_000.0)
+
+let test_replacing_deployment_resets_pool () =
+  let engine = fresh_dial () in
+  warm engine;
+  Alcotest.(check int) "one container" 1 (Engine.pool_size engine "dial");
+  (* A function update (§5.5) replaces the deployment; the pool restarts. *)
+  deploy_dial engine;
+  Alcotest.(check int) "fresh pool" 0 (Engine.pool_size engine "dial");
+  let ok = match run_n engine [ req ~cpu:0 ~io:0 ~mem:0 ] with [ (_, ok) ] -> ok | _ -> false in
+  Alcotest.(check bool) "works after update" true ok;
+  Alcotest.(check bool) "cold started again" true ((Engine.counters engine).Engine.cold_starts >= 2)
+
+(* --- Memory accounting --- *)
+
+let test_total_base_mem_tracks_pools () =
+  let engine = fresh_dial () in
+  Alcotest.(check (float 0.01)) "empty" 0.0 (Engine.total_base_mem_mb engine);
+  warm engine;
+  Alcotest.(check bool) "one container resident" true (Engine.total_base_mem_mb engine >= 8.0)
+
+let test_workspace_released_after_request () =
+  let engine = fresh_dial () in
+  warm engine;
+  ignore (run_n engine [ req ~cpu:0 ~io:0 ~mem:50 ]);
+  (* After completion the 50 MB workspace is gone: only base remains. *)
+  Alcotest.(check bool) "workspace released" true (Engine.total_base_mem_mb engine < 10.0)
+
+(* --- Load generators --- *)
+
+let test_closed_loop_counts () =
+  let engine = fresh_dial () in
+  let r =
+    Loadgen.run_closed_loop engine ~entry:"dial"
+      ~gen_req:(fun _ -> req ~cpu:1_000 ~io:0 ~mem:0)
+      ~connections:2 ~duration_us:2_000_000.0 ~warmup_us:500_000.0 ()
+  in
+  Alcotest.(check int) "no failures" 0 r.Loadgen.failures;
+  Alcotest.(check bool) "kept both connections busy" true (r.Loadgen.successes > 100);
+  Alcotest.(check int) "offered = completed for closed loop" r.Loadgen.offered r.Loadgen.successes
+
+let test_closed_loop_think_time () =
+  let engine = fresh_dial () in
+  let r =
+    Loadgen.run_closed_loop engine ~entry:"dial"
+      ~gen_req:(fun _ -> req ~cpu:0 ~io:0 ~mem:0)
+      ~connections:1 ~duration_us:2_000_000.0 ~warmup_us:0.0 ~think_us:100_000.0 ()
+  in
+  (* ~1 request per 100ms+latency. *)
+  Alcotest.(check bool) "think time paces the connection" true (r.Loadgen.successes <= 22)
+
+let test_open_loop_rate_respected () =
+  let engine = fresh_dial () in
+  let r =
+    Loadgen.run_open_loop engine ~entry:"dial"
+      ~gen_req:(fun _ -> req ~cpu:100 ~io:0 ~mem:0)
+      ~rate_rps:100.0 ~duration_us:5_000_000.0 ~warmup_us:1_000_000.0 ()
+  in
+  Alcotest.(check bool) "offered close to rate x duration" true
+    (abs (r.Loadgen.offered - 500) < 90);
+  Alcotest.(check bool) "all served at low load" true
+    (float_of_int r.Loadgen.successes > 0.95 *. float_of_int r.Loadgen.offered)
+
+let test_simulation_is_deterministic () =
+  let run () =
+    let wfs = Quilt_apps.Deathstar.social_network ~async:false () in
+    let compose = List.find (fun w -> w.Workflow.wf_name = "compose-post") wfs in
+    let engine = Quilt.fresh_platform ~seed:11 ~workflows:[ compose ] () in
+    let r =
+      Loadgen.run_open_loop engine ~entry:"compose-post" ~gen_req:compose.Workflow.gen_req
+        ~rate_rps:120.0 ~duration_us:3_000_000.0 ~warmup_us:1_000_000.0 ()
+    in
+    (r.Loadgen.successes, r.Loadgen.offered, Loadgen.median_ms r, (Engine.counters engine).Engine.cold_starts)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "bit-identical reruns" true (a = b)
+
+(* --- Tracing builder details --- *)
+
+let test_builder_async_edge_kind () =
+  let store = Trace.create () in
+  Trace.record_span store { Trace.ts = 0.0; caller = None; callee = "root"; kind = Trace.Sync };
+  Trace.record_span store { Trace.ts = 1.0; caller = Some "root"; callee = "w"; kind = Trace.Async };
+  Trace.record_span store { Trace.ts = 2.0; caller = Some "root"; callee = "w"; kind = Trace.Async };
+  match Builder.build store ~entry:"root" () with
+  | Error e -> Alcotest.fail e
+  | Ok g ->
+      Alcotest.(check int) "two vertices" 2 (Callgraph.n_nodes g);
+      (match g.Callgraph.edges with
+      | [ e ] ->
+          Alcotest.(check int) "weight 2" 2 e.Callgraph.weight;
+          Alcotest.(check bool) "async kind" true (e.Callgraph.kind = Callgraph.Async);
+          Alcotest.(check int) "alpha = ceil(2/1)" 2 (Callgraph.alpha g e)
+      | _ -> Alcotest.fail "expected one edge")
+
+let test_builder_window_filter () =
+  let store = Trace.create () in
+  Trace.record_span store { Trace.ts = 0.0; caller = None; callee = "root"; kind = Trace.Sync };
+  Trace.record_span store { Trace.ts = 5.0; caller = Some "root"; callee = "old"; kind = Trace.Sync };
+  Trace.record_span store { Trace.ts = 100.0; caller = None; callee = "root"; kind = Trace.Sync };
+  Trace.record_span store { Trace.ts = 105.0; caller = Some "root"; callee = "new"; kind = Trace.Sync };
+  match Builder.build store ~entry:"root" ~window_start:50.0 () with
+  | Error e -> Alcotest.fail e
+  | Ok g ->
+      Alcotest.(check bool) "old edge excluded" true (Callgraph.find_node g "old" = None);
+      Alcotest.(check bool) "new edge included" true (Callgraph.find_node g "new" <> None);
+      Alcotest.(check int) "N counts only windowed invocations" 1 g.Callgraph.invocations
+
+let test_builder_aggregates_containers () =
+  let store = Trace.create () in
+  Trace.record_span store { Trace.ts = 0.0; caller = None; callee = "root"; kind = Trace.Sync };
+  (* Two containers of the same function: cumulative CPU sums; memory takes
+     the peak. *)
+  Trace.record_resource store
+    { Trace.rs_ts = 1.0; container = 1; fn = "root"; cpu_us_cum = 4_000.0; mem_mb = 12.0; invocations_cum = 2 };
+  Trace.record_resource store
+    { Trace.rs_ts = 2.0; container = 2; fn = "root"; cpu_us_cum = 2_000.0; mem_mb = 20.0; invocations_cum = 1 };
+  match Builder.build store ~entry:"root" () with
+  | Error e -> Alcotest.fail e
+  | Ok g ->
+      let n = Callgraph.node g g.Callgraph.root in
+      (* (4000 + 2000) us over 3 invocations = 2 ms per invocation. *)
+      Alcotest.(check (float 1e-6)) "avg cpu" 2.0 n.Callgraph.cpu;
+      Alcotest.(check (float 1e-6)) "peak mem" 20.0 n.Callgraph.mem_mb
+
+let test_builder_requires_invocations () =
+  let store = Trace.create () in
+  match Builder.build store ~entry:"ghost" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error for empty window"
+
+let test_known_calls_adds_missing_edges () =
+  let store = Trace.create () in
+  Trace.record_span store { Trace.ts = 0.0; caller = None; callee = "root"; kind = Trace.Sync };
+  Trace.record_span store { Trace.ts = 1.0; caller = Some "root"; callee = "seen"; kind = Trace.Sync };
+  Trace.record_span store { Trace.ts = 2.0; caller = Some "seen"; callee = "shared"; kind = Trace.Sync };
+  match Builder.build store ~entry:"root" () with
+  | Error e -> Alcotest.fail e
+  | Ok g ->
+      (* The code also has root -> shared, unobserved in this window. *)
+      let g' = Builder.known_calls ~code_edges:[ ("root", "shared", Callgraph.Sync) ] g in
+      Alcotest.(check int) "edge added" (List.length g.Callgraph.edges + 1) (List.length g'.Callgraph.edges);
+      let added =
+        List.find
+          (fun (e : Callgraph.edge) ->
+            (Callgraph.node g' e.Callgraph.src).Callgraph.name = "root"
+            && (Callgraph.node g' e.Callgraph.dst).Callgraph.name = "shared")
+          g'.Callgraph.edges
+      in
+      Alcotest.(check int) "dashed edges carry weight 0" 0 added.Callgraph.weight;
+      (* Idempotent for edges already present. *)
+      let g'' = Builder.known_calls ~code_edges:[ ("root", "seen", Callgraph.Sync) ] g' in
+      Alcotest.(check int) "no duplicate" (List.length g'.Callgraph.edges) (List.length g''.Callgraph.edges)
+
+let suite =
+  [
+    ( "engine.cpu",
+      [
+        Alcotest.test_case "ps sharing" `Quick test_ps_sharing_two_tasks_one_core;
+        Alcotest.test_case "cfs throttle on long bursts" `Quick test_cfs_throttle_applies_to_long_bursts;
+        Alcotest.test_case "io is not cpu" `Quick test_io_does_not_consume_cpu;
+      ] );
+    ( "engine.lifecycle",
+      [
+        Alcotest.test_case "cold start composition" `Quick test_cold_start_scales_with_image;
+        Alcotest.test_case "function update resets pool" `Quick test_replacing_deployment_resets_pool;
+        Alcotest.test_case "rolling update seamless (5.5)" `Quick test_rolling_update_is_seamless;
+        Alcotest.test_case "total base mem" `Quick test_total_base_mem_tracks_pools;
+        Alcotest.test_case "workspace released" `Quick test_workspace_released_after_request;
+      ] );
+    ( "engine.loadgen",
+      [
+        Alcotest.test_case "closed loop counts" `Quick test_closed_loop_counts;
+        Alcotest.test_case "think time" `Quick test_closed_loop_think_time;
+        Alcotest.test_case "open loop rate" `Quick test_open_loop_rate_respected;
+        Alcotest.test_case "deterministic" `Quick test_simulation_is_deterministic;
+      ] );
+    ( "tracing.builder",
+      [
+        Alcotest.test_case "async edge kind" `Quick test_builder_async_edge_kind;
+        Alcotest.test_case "window filter" `Quick test_builder_window_filter;
+        Alcotest.test_case "container aggregation" `Quick test_builder_aggregates_containers;
+        Alcotest.test_case "requires invocations" `Quick test_builder_requires_invocations;
+        Alcotest.test_case "known calls" `Quick test_known_calls_adds_missing_edges;
+      ] );
+  ]

@@ -1,0 +1,17 @@
+(* Aggregates all suites.  Each test_<area>.ml exposes [suite]. *)
+
+let () =
+  Alcotest.run "quilt"
+    (List.concat [
+       Test_util.suite;
+       Test_dag.suite;
+       Test_ilp.suite;
+       Test_cluster.suite;
+       Test_ir.suite;
+       Test_lang.suite;
+       Test_merge.suite;
+       Test_platform.suite;
+       Test_fuzz.suite;
+       Test_engine.suite;
+       Test_apps.suite;
+     ])

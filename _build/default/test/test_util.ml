@@ -1,0 +1,303 @@
+(* Unit and property tests for quilt_util: JSON, RNG, heap, histogram, stats. *)
+
+module Json = Quilt_util.Json
+module Rng = Quilt_util.Rng
+module Heap = Quilt_util.Heap
+module Histogram = Quilt_util.Histogram
+module Stats = Quilt_util.Stats
+
+let check_json = Alcotest.testable Json.pp Json.equal
+
+(* --- JSON --- *)
+
+let test_json_roundtrip_basic () =
+  let v =
+    Json.Obj
+      [
+        ("name", Json.String "compose-post");
+        ("count", Json.Int 42);
+        ("ratio", Json.Float 0.5);
+        ("flag", Json.Bool true);
+        ("nothing", Json.Null);
+        ("items", Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ]);
+      ]
+  in
+  let s = Json.to_string v in
+  Alcotest.check check_json "roundtrip" v (Json.of_string s)
+
+let test_json_parse_whitespace () =
+  let v = Json.of_string "  { \"a\" : [ 1 , 2 ] ,\n \"b\" : \"x\" }  " in
+  Alcotest.check check_json "ws" (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Int 2 ]); ("b", Json.String "x") ]) v
+
+let test_json_escapes () =
+  let v = Json.String "line1\nline2\t\"quoted\"\\back" in
+  Alcotest.check check_json "escapes" v (Json.of_string (Json.to_string v));
+  let parsed = Json.of_string "\"\\u0041\\u00e9\"" in
+  Alcotest.(check string) "unicode" "A\xc3\xa9" (match parsed with Json.String s -> s | _ -> "?")
+
+let test_json_nested () =
+  let s = "{\"a\":{\"b\":{\"c\":[{\"d\":1}]}}}" in
+  let v = Json.of_string s in
+  let d = Json.(member "a" v |> member "b" |> member "c" |> to_list) in
+  match d with
+  | [ item ] -> Alcotest.(check (option int)) "deep member" (Some 1) Json.(to_int_opt (member "d" item))
+  | _ -> Alcotest.fail "expected singleton list"
+
+let test_json_errors () =
+  let bad = [ "{"; "[1,"; "\"unterminated"; "{\"a\" 1}"; "tru"; "[1 2]"; "{\"a\":1} x"; "" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "expected parse error on %S" s))
+    bad
+
+let test_json_member_total () =
+  Alcotest.check check_json "missing member" Json.Null (Json.member "x" (Json.Obj []));
+  Alcotest.check check_json "member of non-object" Json.Null (Json.member "x" (Json.Int 3));
+  Alcotest.(check (list reject)) "to_list of non-list is []" []
+    (List.map (fun _ -> Alcotest.fail "impossible") (Json.to_list (Json.Int 3)))
+
+let test_json_negative_numbers () =
+  Alcotest.check check_json "neg int" (Json.Int (-17)) (Json.of_string "-17");
+  Alcotest.check check_json "neg float" (Json.Float (-2.5)) (Json.of_string "-2.5")
+
+let prop_json_roundtrip =
+  let open QCheck in
+  let rec gen_json depth =
+    let open Gen in
+    if depth = 0 then
+      oneof
+        [
+          return Json.Null;
+          map (fun b -> Json.Bool b) bool;
+          map (fun i -> Json.Int i) (int_range (-1000000) 1000000);
+          map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 12));
+        ]
+    else
+      oneof
+        [
+          map (fun i -> Json.Int i) (int_range (-1000) 1000);
+          map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 8));
+          map (fun l -> Json.List l) (list_size (int_range 0 4) (gen_json (depth - 1)));
+          map
+            (fun kvs -> Json.Obj (List.mapi (fun i (k, v) -> (Printf.sprintf "%s%d" k i, v)) kvs))
+            (list_size (int_range 0 4) (pair (string_size ~gen:(Gen.char_range 'a' 'z') (int_range 1 5)) (gen_json (depth - 1))));
+        ]
+  in
+  Test.make ~name:"json roundtrip (of_string . to_string = id)" ~count:300
+    (make (gen_json 3))
+    (fun v -> Json.equal v (Json.of_string (Json.to_string v)))
+
+(* --- RNG --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10);
+    let v = Rng.int_in r 5 9 in
+    Alcotest.(check bool) "in closed range" true (v >= 5 && v <= 9);
+    let f = Rng.float r 2.0 in
+    Alcotest.(check bool) "float range" true (f >= 0.0 && f < 2.0)
+  done
+
+let test_rng_split_independent () =
+  let r = Rng.create 1 in
+  let s = Rng.split r in
+  let v1 = Rng.bits64 s in
+  let v2 = Rng.bits64 r in
+  Alcotest.(check bool) "different streams" true (v1 <> v2)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 99 in
+  let n = 20000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential r 5.0
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 5" true (mean > 4.6 && mean < 5.4)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 3 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 (fun i -> i)) sorted
+
+(* --- Heap --- *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  let r = Rng.create 11 in
+  let items = List.init 500 (fun _ -> Rng.int r 1000) in
+  List.iter (fun p -> Heap.push h p p) items;
+  let rec drain acc =
+    match Heap.pop h with
+    | None -> List.rev acc
+    | Some (p, _) -> drain (p :: acc)
+  in
+  let out = drain [] in
+  Alcotest.(check (list int)) "sorted" (List.sort compare items) out
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  Heap.push h 1 "a";
+  Heap.push h 1 "b";
+  Heap.push h 1 "c";
+  let got = List.init 3 (fun _ -> match Heap.pop h with Some (_, v) -> v | None -> "?") in
+  Alcotest.(check (list string)) "insertion order on ties" [ "a"; "b"; "c" ] got
+
+let test_heap_empty () =
+  let h : (int, unit) Heap.t = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek h = None)
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  Heap.push h 1 "a";
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h);
+  Heap.push h 2 "b";
+  Alcotest.(check bool) "usable after clear" true (Heap.pop h = Some (2, "b"))
+
+let test_heap_peek_stable () =
+  let h = Heap.create () in
+  Heap.push h 5 "x";
+  Heap.push h 2 "y";
+  Alcotest.(check bool) "peek min" true (Heap.peek h = Some (2, "y"));
+  Alcotest.(check int) "length" 2 (Heap.length h)
+
+let prop_heap_sorts =
+  let open QCheck in
+  Test.make ~name:"heap drains in sorted order" ~count:200
+    (list (int_range (-1000) 1000))
+    (fun items ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h p ()) items;
+      let rec drain acc = match Heap.pop h with None -> List.rev acc | Some (p, ()) -> drain (p :: acc) in
+      drain [] = List.sort compare items)
+
+(* --- Histogram --- *)
+
+let test_histogram_quantiles () =
+  let h = Histogram.create () in
+  for i = 1 to 10000 do
+    Histogram.record h (float_of_int i)
+  done;
+  let med = Histogram.median h in
+  Alcotest.(check bool) "median ~5000" true (Float.abs (med -. 5000.0) /. 5000.0 < 0.03);
+  let p99 = Histogram.quantile h 0.99 in
+  Alcotest.(check bool) "p99 ~9900" true (Float.abs (p99 -. 9900.0) /. 9900.0 < 0.03)
+
+let test_histogram_mean_count () =
+  let h = Histogram.create () in
+  Histogram.record h 10.0;
+  Histogram.record h 20.0;
+  Histogram.record_n h 30.0 2;
+  Alcotest.(check int) "count" 4 (Histogram.count h);
+  Alcotest.(check (float 0.001)) "mean" 22.5 (Histogram.mean h);
+  Alcotest.(check (float 0.001)) "max" 30.0 (Histogram.max_value h);
+  Alcotest.(check (float 0.001)) "min" 10.0 (Histogram.min_value h)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.record a 100.0;
+  Histogram.record b 200.0;
+  Histogram.merge_into ~dst:a b;
+  Alcotest.(check int) "merged count" 2 (Histogram.count a);
+  Alcotest.(check bool) "merged max" true (Histogram.max_value a = 200.0)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check (float 0.0)) "median of empty" 0.0 (Histogram.median h);
+  Alcotest.(check (float 0.0)) "mean of empty" 0.0 (Histogram.mean h)
+
+let test_histogram_relative_error () =
+  let h = Histogram.create () in
+  let v = 123456.0 in
+  Histogram.record h v;
+  let got = Histogram.quantile h 0.5 in
+  Alcotest.(check bool) "bounded relative error" true (Float.abs (got -. v) /. v < 0.02)
+
+let prop_histogram_median_error =
+  let open QCheck in
+  Test.make ~name:"histogram median within 2% of exact" ~count:100
+    (list_of_size (Gen.int_range 1 200) (float_range 1.0 1e6))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) xs;
+      let exact = Stats.median xs in
+      let got = Histogram.median h in
+      Float.abs (got -. exact) /. exact < 0.02)
+
+(* --- Stats --- *)
+
+let test_stats_basic () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.median xs);
+  Alcotest.(check (float 1e-6)) "stdev" (sqrt 2.5) (Stats.stdev xs);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile xs 1.0);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.minimum xs);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Stats.maximum xs)
+
+let test_stats_empty () =
+  Alcotest.(check (float 0.0)) "mean []" 0.0 (Stats.mean []);
+  Alcotest.(check (float 0.0)) "stdev []" 0.0 (Stats.stdev []);
+  Alcotest.(check (float 0.0)) "median []" 0.0 (Stats.median [])
+
+let suite =
+  [
+    ( "util.json",
+      [
+        Alcotest.test_case "roundtrip basic" `Quick test_json_roundtrip_basic;
+        Alcotest.test_case "whitespace" `Quick test_json_parse_whitespace;
+        Alcotest.test_case "escapes" `Quick test_json_escapes;
+        Alcotest.test_case "nested access" `Quick test_json_nested;
+        Alcotest.test_case "parse errors" `Quick test_json_errors;
+        Alcotest.test_case "total accessors" `Quick test_json_member_total;
+        Alcotest.test_case "negative numbers" `Quick test_json_negative_numbers;
+        QCheck_alcotest.to_alcotest prop_json_roundtrip;
+      ] );
+    ( "util.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+      ] );
+    ( "util.heap",
+      [
+        Alcotest.test_case "ordering" `Quick test_heap_ordering;
+        Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "empty" `Quick test_heap_empty;
+        Alcotest.test_case "peek" `Quick test_heap_peek_stable;
+        Alcotest.test_case "clear" `Quick test_heap_clear;
+        QCheck_alcotest.to_alcotest prop_heap_sorts;
+      ] );
+    ( "util.histogram",
+      [
+        Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+        Alcotest.test_case "mean and count" `Quick test_histogram_mean_count;
+        Alcotest.test_case "merge" `Quick test_histogram_merge;
+        Alcotest.test_case "empty" `Quick test_histogram_empty;
+        Alcotest.test_case "relative error" `Quick test_histogram_relative_error;
+        QCheck_alcotest.to_alcotest prop_histogram_median_error;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "basic" `Quick test_stats_basic;
+        Alcotest.test_case "empty" `Quick test_stats_empty;
+      ] );
+  ]
