@@ -5,6 +5,8 @@ module Loadgen = Quilt_platform.Loadgen
 module Workflow = Quilt_apps.Workflow
 module Config = Quilt_core.Config
 module Quilt = Quilt_core.Quilt
+module Pool = Quilt_util.Pool
+module Json = Quilt_util.Json
 
 (* QUILT_BENCH_FAST=1 shrinks run durations and sweep densities so the whole
    harness completes in well under a minute; default runs use the full
@@ -38,6 +40,30 @@ let latency_run engine ~entry ~gen_req ~duration_us =
   Loadgen.run_open_loop engine ~entry ~gen_req ~rate_rps:2.0 ~duration_us
     ~warmup_us:(Float.min (duration_us *. 0.25) 20_000_000.0)
     ()
+
+(* Machine-readable timing log.  Each bench section that measures decision
+   times dumps them here, keyed by section, as one top-level JSON object;
+   re-running a section replaces only its own key. *)
+let bench_json_file = "BENCH_decision.json"
+
+let record_timings ~key entries =
+  let existing =
+    if Sys.file_exists bench_json_file then
+      try
+        let ic = open_in_bin bench_json_file in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        match Quilt_util.Json.of_string s with Json.Obj kvs -> kvs | _ -> []
+      with _ -> []
+    else []
+  in
+  let merged = List.filter (fun (k, _) -> k <> key) existing @ [ (key, Json.Obj entries) ] in
+  let oc = open_out_bin bench_json_file in
+  output_string oc (Json.to_string (Json.Obj merged));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  [timings recorded under %S in %s]\n%!" key bench_json_file
 
 let optimize_or_fail cfg wf =
   match Quilt.optimize cfg ~workflows:[ wf ] wf with

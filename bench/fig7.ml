@@ -23,8 +23,12 @@ let prewarm engine ~entry ~gen_req =
     (Loadgen.run_closed_loop engine ~entry ~gen_req ~connections:32 ~duration_us:(scale 6_000_000.0)
        ~warmup_us:0.0 ())
 
+(* Each offered-load point runs on a fresh engine, and the simulator is
+   fully deterministic per engine — so the points fan out across domains
+   (Pool.map, input order preserved) with byte-identical results to a
+   sequential sweep. *)
 let sweep ~make_engine ~entry ~gen_req =
-  List.map
+  Pool.map
     (fun rate ->
       let engine = make_engine () in
       prewarm engine ~entry ~gen_req;
@@ -135,7 +139,7 @@ let run_7c () =
   in
   let rates7c = if fast then [ 10.0; 200.0; 1600.0 ] else [ 10.0; 25.0; 50.0; 100.0; 200.0; 400.0; 800.0; 1600.0; 3200.0 ] in
   let sweep7c make =
-    List.map
+    Pool.map
       (fun rate ->
         let engine = make () in
         prewarm engine ~entry ~gen_req;

@@ -8,6 +8,7 @@ let experiments =
     ("fig6", Fig6.run, "workflow latency, baseline vs Quilt (Figure 6)");
     ("fig7", Fig7.run, "latency/throughput vs load, incl. CM and 7c (Figure 7)");
     ("fig8", Fig8.run, "profiling, decision and merging costs (Figure 8)");
+    ("fig8b", Fig8.run_8b, "decision-time sweep only; writes BENCH_decision.json");
     ("fig9", Fig9.run, "decision quality on random rDAGs (Figure 9)");
     ("fig10", Fig10.run, "conditional invocations under fan-out (Figure 10)");
     ("table_e", Table_e.run, "binary sizes (Appendix E)");

@@ -60,6 +60,7 @@ let run () =
   Common.section "Micro-benchmarks (bechamel): core algorithm costs";
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second (if Common.fast then 0.25 else 1.0)) () in
+  let recorded = ref [] in
   List.iter
     (fun test ->
       let results =
@@ -69,8 +70,12 @@ let run () =
       Hashtbl.iter
         (fun name ols ->
           match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "  %-42s %12.2f us/run\n%!" name (est /. 1000.0)
+          | Some [ est ] ->
+              Printf.printf "  %-42s %12.2f us/run\n%!" name (est /. 1000.0);
+              recorded := (name, est /. 1000.0) :: !recorded
           | Some _ | None -> Printf.printf "  %-42s (no estimate)\n%!" name)
         results)
     tests;
+  Common.record_timings ~key:"micro_us_per_run"
+    (List.rev_map (fun (name, us) -> (name, Common.Json.Float us)) !recorded);
   Common.paper_note [ "not in the paper: per-operation costs of this reproduction's own algorithms." ]

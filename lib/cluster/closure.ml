@@ -1,54 +1,78 @@
 module Callgraph = Quilt_dag.Callgraph
+module Bitset = Quilt_util.Bitset
 
-let nr_closure (g : Callgraph.t) ~is_root start =
-  let n = Callgraph.n_nodes g in
-  let members = Array.make n false in
+(* One named constant shared by the exact solver and the dispatcher: instances
+   with more roots than this (or more root-targeted edges than
+   [exact_max_root_edges]) go to the greedy solver. *)
+let exact_max_roots = 14
+
+let exact_max_root_edges = 62
+
+(* --- Bitset kernels --- *)
+
+let nr_closure_bits (g : Callgraph.t) ~(is_root : Bitset.t) start =
+  let members = Bitset.create (Callgraph.n_nodes g) in
   let rec visit v =
-    if not members.(v) then begin
-      members.(v) <- true;
-      List.iter
-        (fun e -> if not is_root.(e.Callgraph.dst) then visit e.Callgraph.dst)
-        (Callgraph.succs g v)
+    if not (Bitset.mem members v) then begin
+      Bitset.set members v;
+      Array.iter
+        (fun (e : Callgraph.edge) -> if not (Bitset.mem is_root e.dst) then visit e.dst)
+        (Callgraph.out_edges g v)
     end
   in
   visit start;
   members
 
-let resources (g : Callgraph.t) ~members ~root =
+let nr_closure (g : Callgraph.t) ~is_root start =
+  Bitset.to_bool_array (nr_closure_bits g ~is_root:(Bitset.of_bool_array is_root) start)
+
+(* Resource demand of a member set, per Appendix B constraints 6–7: iterate
+   the members' outgoing adjacency and count every internal edge's callee
+   contribution.  All contributions are integer-valued in the profiled
+   graphs, so the summation order (a permutation of the edge list) cannot
+   change the result. *)
+let resources_bits (g : Callgraph.t) ~(members : Bitset.t) ~root =
   let open Callgraph in
   let rn = node g root in
   let cpu = ref rn.cpu and mem = ref rn.mem_mb in
-  List.iter
-    (fun e ->
-      if members.(e.src) && members.(e.dst) then begin
-        let a = float_of_int (alpha g e) in
-        let callee = node g e.dst in
-        cpu := !cpu +. (a *. callee.cpu);
-        mem := !mem +. callee.mem_mb;
-        match e.kind with
-        | Async -> mem := !mem +. ((a -. 1.0) *. callee.mem_mb)
-        | Sync -> ()
-      end)
-    g.edges;
+  Bitset.iter
+    (fun v ->
+      Array.iter
+        (fun e ->
+          if Bitset.mem members e.dst then begin
+            let a = float_of_int (alpha g e) in
+            let callee = node g e.dst in
+            cpu := !cpu +. (a *. callee.cpu);
+            mem := !mem +. callee.mem_mb;
+            match e.kind with
+            | Async -> mem := !mem +. ((a -. 1.0) *. callee.mem_mb)
+            | Sync -> ()
+          end)
+        (out_edges g v))
+    members;
   (!cpu, !mem)
+
+let resources (g : Callgraph.t) ~members ~root =
+  resources_bits g ~members:(Bitset.of_bool_array members) ~root
 
 let feasible (lim : Types.limits) (cpu, mem) = cpu <= lim.max_cpu +. 1e-9 && mem <= lim.max_mem_mb +. 1e-9
 
 (* Connectivity per ILP constraint 3: every member except the subgraph root
    has an in-edge from another member.  In a DAG this is equivalent to every
    member being reachable from the root within the member set. *)
-let connected (g : Callgraph.t) ~members ~root =
-  let ok = ref true in
-  Array.iteri
-    (fun j in_members ->
-      if in_members && j <> root then begin
-        let has_pred =
-          List.exists (fun e -> members.(e.Callgraph.src)) (Callgraph.preds g j)
-        in
-        if not has_pred then ok := false
-      end)
-    members;
-  !ok
+let connected_bits (g : Callgraph.t) ~(members : Bitset.t) ~root =
+  try
+    Bitset.iter
+      (fun j ->
+        if j <> root then begin
+          let has_pred =
+            Array.exists (fun (e : Callgraph.edge) -> Bitset.mem members e.src) (Callgraph.in_edges g j)
+          in
+          if not has_pred then raise Exit
+        end)
+      members;
+    true
+  with Exit -> false
 
 (* Non-mergeable functions (§1.1's opt-in bit) are forced to be singleton
    groups: they and every one of their callees become roots, they absorb
@@ -59,7 +83,7 @@ let forced_roots (g : Callgraph.t) =
     (fun (nd : Callgraph.node) ->
       if not nd.Callgraph.mergeable then begin
         out := nd.Callgraph.id :: !out;
-        List.iter (fun (e : Callgraph.edge) -> out := e.Callgraph.dst :: !out) (Callgraph.succs g nd.Callgraph.id)
+        Callgraph.iter_succs g nd.Callgraph.id (fun e -> out := e.Callgraph.dst :: !out)
       end)
     g.Callgraph.nodes;
   List.sort_uniq compare !out
@@ -80,31 +104,35 @@ let normalize_roots (g : Callgraph.t) roots =
   (* Global root first. *)
   g.Callgraph.root :: List.filter (fun r -> r <> g.Callgraph.root) uniq
 
+let root_bitset (g : Callgraph.t) roots =
+  let is_root = Bitset.create (Callgraph.n_nodes g) in
+  List.iter (Bitset.set is_root) roots;
+  is_root
+
 let root_set_feasible (g : Callgraph.t) (lim : Types.limits) ~roots =
   let roots = normalize_roots g roots in
-  let n = Callgraph.n_nodes g in
-  let is_root = Array.make n false in
-  List.iter (fun r -> is_root.(r) <- true) roots;
+  let is_root = root_bitset g roots in
   List.for_all
     (fun r ->
-      let members = nr_closure g ~is_root r in
-      feasible lim (resources g ~members ~root:r))
+      let members = nr_closure_bits g ~is_root r in
+      feasible lim (resources_bits g ~members ~root:r))
     roots
 
-(* Union of closures for an absorb set. *)
-let members_of_absorb closures n absorb =
-  let m = Array.make n false in
-  List.iter (fun s -> Array.iteri (fun j b -> if b then m.(j) <- true) closures.(s)) absorb;
+(* Union of closures for an absorb set, word by word. *)
+let members_of_absorb (g : Callgraph.t) closures absorb =
+  let m = Bitset.create (Callgraph.n_nodes g) in
+  List.iter (fun s -> Bitset.union_into ~dst:m closures.(s)) absorb;
   m
 
 let build_solution (g : Callgraph.t) roots choices =
-  (* choices: (root, absorb list, members) list *)
+  (* choices: (root, absorb list, members bitset) list *)
   let cost = ref 0 in
   List.iter
     (fun (e : Callgraph.edge) ->
       let cut =
         List.exists
-          (fun (_, absorb, members) -> members.(e.src) && not (List.mem e.dst absorb || members.(e.dst)))
+          (fun (_, absorb, members) ->
+            Bitset.mem members e.src && not (List.mem e.dst absorb || Bitset.mem members e.dst))
           choices
       in
       if cut then cost := !cost + e.weight)
@@ -112,8 +140,8 @@ let build_solution (g : Callgraph.t) roots choices =
   let subgraphs =
     List.map
       (fun (r, absorb, members) ->
-        let cpu, mem = resources g ~members ~root:r in
-        { Types.root = r; absorbed = absorb; members; cpu; mem_mb = mem })
+        let cpu, mem = resources_bits g ~members ~root:r in
+        { Types.root = r; absorbed = absorb; members = Bitset.to_bool_array members; cpu; mem_mb = mem })
       choices
   in
   { Types.roots; subgraphs; cost = !cost }
@@ -122,26 +150,25 @@ let build_solution (g : Callgraph.t) roots choices =
 
 type choice = {
   absorb : int list;  (* absorbed roots, including the subgraph's own root *)
-  members : bool array;
+  members : Bitset.t;
   cut_mask : int;  (* bitmask over root-targeted edges this choice cuts *)
 }
 
 let solve_exact (g : Callgraph.t) (lim : Types.limits) ~roots =
   let roots = normalize_roots g roots in
   let k = List.length roots in
-  if k > 16 then invalid_arg "Closure.solve_exact: too many roots (use solve_greedy)";
-  let n = Callgraph.n_nodes g in
-  let is_root = Array.make n false in
-  List.iter (fun r -> is_root.(r) <- true) roots;
+  if k > exact_max_roots then invalid_arg "Closure.solve_exact: too many roots (use solve_greedy)";
+  let is_root = root_bitset g roots in
   (* Edges whose target is a root are the only cuttable edges. *)
   let root_edges =
-    List.filter (fun (e : Callgraph.edge) -> is_root.(e.Callgraph.dst)) g.Callgraph.edges
+    List.filter (fun (e : Callgraph.edge) -> Bitset.mem is_root e.Callgraph.dst) g.Callgraph.edges
   in
   let n_redges = List.length root_edges in
-  if n_redges > 62 then invalid_arg "Closure.solve_exact: too many root-targeted edges";
+  if n_redges > exact_max_root_edges then
+    invalid_arg "Closure.solve_exact: too many root-targeted edges";
   let redge_arr = Array.of_list root_edges in
-  let closures = Array.make n [||] in
-  List.iter (fun r -> closures.(r) <- nr_closure g ~is_root r) roots;
+  let closures = Array.make (Callgraph.n_nodes g) (Bitset.create 0) in
+  List.iter (fun r -> closures.(r) <- nr_closure_bits g ~is_root r) roots;
   let root_arr = Array.of_list roots in
   (* Enumerate feasible absorb sets per root. *)
   let feasible_choices r =
@@ -160,14 +187,14 @@ let solve_exact (g : Callgraph.t) (lim : Types.limits) ~roots =
         if mask land (1 lsl b) <> 0 then absorb := others.(b) :: !absorb
       done;
       let absorb = !absorb in
-      let members = members_of_absorb closures n absorb in
-      if connected g ~members ~root:r && feasible lim (resources g ~members ~root:r) then begin
+      let members = members_of_absorb g closures absorb in
+      if connected_bits g ~members ~root:r && feasible lim (resources_bits g ~members ~root:r) then begin
         (* Which root-targeted edges does this subgraph cut?  Edge (i,j) is
            cut by G_r when i is a member but j is not absorbed. *)
         let cut = ref 0 in
         Array.iteri
           (fun idx (e : Callgraph.edge) ->
-            if members.(e.src) && not members.(e.dst) then cut := !cut lor (1 lsl idx))
+            if Bitset.mem members e.src && not (Bitset.mem members e.dst) then cut := !cut lor (1 lsl idx))
           redge_arr;
         out := { absorb; members; cut_mask = !cut } :: !out
       end
@@ -187,8 +214,9 @@ let solve_exact (g : Callgraph.t) (lim : Types.limits) ~roots =
     let sorted_choices =
       Array.map
         (fun l ->
-          List.sort (fun a b -> compare (weight_of_mask a.cut_mask) (weight_of_mask b.cut_mask)) l
-          |> Array.of_list)
+          List.map (fun c -> (weight_of_mask c.cut_mask, c)) l
+          |> List.sort (fun (wa, _) (wb, _) -> compare wa wb)
+          |> List.map snd |> Array.of_list)
         all_choices
     in
     let best_cost = ref max_int in
@@ -226,85 +254,175 @@ let solve_exact (g : Callgraph.t) (lim : Types.limits) ~roots =
 
 (* --- Greedy search for large instances --- *)
 
+(* The greedy hill-climb evaluates every (subgraph, absorbable-root) move per
+   round.  Rebuilding the full solution per candidate is O(k·|E|) — instead
+   we keep, per subgraph: its member bitset, absorb set, resource totals, and
+   the set of root-targeted edges it currently cuts; plus a global per-edge
+   cut count.  A candidate is then scored by (a) a resource delta over the
+   vertices the move would add and (b) a cut-weight delta over the
+   root-targeted edges — no solution rebuild.  Absorbing j into G_r keeps
+   G_r connected automatically: the move requires an internal caller of j,
+   and everything else it adds is j's closure, reachable from j. *)
 let solve_greedy (g : Callgraph.t) (lim : Types.limits) ~roots =
+  let open Callgraph in
   let roots = normalize_roots g roots in
   let n = Callgraph.n_nodes g in
-  let is_root = Array.make n false in
-  List.iter (fun r -> is_root.(r) <- true) roots;
-  let closures = Array.make n [||] in
-  List.iter (fun r -> closures.(r) <- nr_closure g ~is_root r) roots;
-  (* Start from minimal absorb sets; bail if even those are infeasible. *)
-  let absorb = Hashtbl.create 16 in
-  List.iter (fun r -> Hashtbl.replace absorb r [ r ]) roots;
-  let members_for r = members_of_absorb closures n (Hashtbl.find absorb r) in
-  let all_feasible () =
-    List.for_all
+  let is_root = root_bitset g roots in
+  let closures = Array.make n (Bitset.create 0) in
+  List.iter (fun r -> closures.(r) <- nr_closure_bits g ~is_root r) roots;
+  let root_arr = Array.of_list roots in
+  let k = Array.length root_arr in
+  (* Mutable per-subgraph state, indexed like [root_arr]. *)
+  let members = Array.map (fun r -> Bitset.copy closures.(r)) root_arr in
+  let absorb = Array.map (fun r -> [ r ]) root_arr in
+  let in_absorb =
+    Array.map
       (fun r ->
-        let members = members_for r in
-        connected g ~members ~root:r && feasible lim (resources g ~members ~root:r))
-      roots
+        let b = Bitset.create n in
+        Bitset.set b r;
+        b)
+      root_arr
+  in
+  let res = Array.map (fun r -> resources_bits g ~members:closures.(r) ~root:r) root_arr in
+  (* Start from minimal absorb sets; bail if even those are infeasible. *)
+  let all_feasible () =
+    let ok = ref true in
+    Array.iteri
+      (fun i r ->
+        if !ok then
+          ok := connected_bits g ~members:members.(i) ~root:r && feasible lim res.(i))
+      root_arr;
+    !ok
   in
   if not (all_feasible ()) then None
   else begin
-    let current_cost () =
-      let choices = List.map (fun r -> (r, Hashtbl.find absorb r, members_for r)) roots in
-      (build_solution g roots choices).Types.cost
+    (* Root-targeted edges and their per-subgraph cut state. *)
+    let redge_arr = Array.of_list (List.filter (fun e -> Bitset.mem is_root e.dst) g.Callgraph.edges) in
+    let n_redges = Array.length redge_arr in
+    let cut = Array.make k (Bitset.create 0) in
+    let cut_count = Array.make n_redges 0 in
+    for i = 0 to k - 1 do
+      let c = Bitset.create n_redges in
+      Array.iteri
+        (fun ei e ->
+          if Bitset.mem members.(i) e.src && not (Bitset.mem in_absorb.(i) e.dst) then begin
+            Bitset.set c ei;
+            cut_count.(ei) <- cut_count.(ei) + 1
+          end)
+        redge_arr;
+      cut.(i) <- c
+    done;
+    let cost = ref 0 in
+    Array.iteri (fun ei e -> if cut_count.(ei) > 0 then cost := !cost + e.weight) redge_arr;
+    (* Resource delta of absorbing root [j] into subgraph [i]: sum the callee
+       contributions of the edges that become internal — edges out of the
+       added vertices into the grown member set, and edges from the old
+       member set into the added vertices. *)
+    let move_delta i j =
+      let delta = Bitset.diff closures.(j) members.(i) in
+      let dcpu = ref 0.0 and dmem = ref 0.0 in
+      let account (e : edge) =
+        let a = float_of_int (alpha g e) in
+        let callee = node g e.dst in
+        dcpu := !dcpu +. (a *. callee.cpu);
+        dmem := !dmem +. callee.mem_mb;
+        match e.kind with
+        | Async -> dmem := !dmem +. ((a -. 1.0) *. callee.mem_mb)
+        | Sync -> ()
+      in
+      Bitset.iter
+        (fun v ->
+          Array.iter
+            (fun (e : edge) ->
+              if Bitset.mem members.(i) e.dst || Bitset.mem delta e.dst then account e)
+            (out_edges g v);
+          Array.iter (fun (e : edge) -> if Bitset.mem members.(i) e.src then account e) (in_edges g v))
+        delta;
+      (delta, !dcpu, !dmem)
     in
-    let cost = ref (current_cost ()) in
+    (* Cut-weight delta of the same move, against the global cut counts. *)
+    let cut_delta i j delta =
+      let dcost = ref 0 in
+      for ei = 0 to n_redges - 1 do
+        let e = redge_arr.(ei) in
+        let was = Bitset.mem cut.(i) ei in
+        let now =
+          (Bitset.mem members.(i) e.src || Bitset.mem delta e.src)
+          && (not (e.dst = j)) && not (Bitset.mem in_absorb.(i) e.dst)
+        in
+        if was && (not now) && cut_count.(ei) = 1 then dcost := !dcost - e.weight
+        else if now && (not was) && cut_count.(ei) = 0 then dcost := !dcost + e.weight
+      done;
+      !dcost
+    in
+    let apply_move i j =
+      let delta, dcpu, dmem = move_delta i j in
+      let cpu, mem = res.(i) in
+      res.(i) <- (cpu +. dcpu, mem +. dmem);
+      for ei = 0 to n_redges - 1 do
+        let e = redge_arr.(ei) in
+        let was = Bitset.mem cut.(i) ei in
+        let now =
+          (Bitset.mem members.(i) e.src || Bitset.mem delta e.src)
+          && (not (e.dst = j)) && not (Bitset.mem in_absorb.(i) e.dst)
+        in
+        if was && not now then begin
+          Bitset.unset cut.(i) ei;
+          cut_count.(ei) <- cut_count.(ei) - 1
+        end
+        else if now && not was then begin
+          Bitset.set cut.(i) ei;
+          cut_count.(ei) <- cut_count.(ei) + 1
+        end
+      done;
+      Bitset.union_into ~dst:members.(i) closures.(j);
+      Bitset.set in_absorb.(i) j;
+      absorb.(i) <- j :: absorb.(i)
+    in
     let improved = ref true in
     while !improved do
       improved := false;
       let best_move = ref None in
-      List.iter
-        (fun r ->
-          let current = Hashtbl.find absorb r in
-          let members = members_for r in
-          List.iter
-            (fun j ->
-              if
-                j <> r
-                && (not (List.mem j current))
-                && (Callgraph.node g r).Callgraph.mergeable
-                && (Callgraph.node g j).Callgraph.mergeable
-              then begin
-                (* Only consider absorbing j when some member calls j. *)
-                let has_edge =
-                  List.exists
-                    (fun (e : Callgraph.edge) -> e.Callgraph.dst = j && members.(e.Callgraph.src))
-                    g.Callgraph.edges
-                in
-                if has_edge then begin
-                  Hashtbl.replace absorb r (j :: current);
-                  let m' = members_for r in
-                  let ok = connected g ~members:m' ~root:r && feasible lim (resources g ~members:m' ~root:r) in
-                  if ok then begin
-                    let c' = current_cost () in
-                    match !best_move with
-                    | Some (_, _, best_c) when c' >= best_c -> ()
-                    | _ -> if c' < !cost then best_move := Some (r, j, c')
-                  end;
-                  Hashtbl.replace absorb r current
-                end
-              end)
-            roots)
-        roots;
+      Array.iteri
+        (fun i r ->
+          if (node g r).mergeable then
+            Array.iter
+              (fun j ->
+                if j <> r && (not (Bitset.mem in_absorb.(i) j)) && (node g j).mergeable then begin
+                  (* Only consider absorbing j when some member calls j. *)
+                  let has_edge =
+                    Array.exists (fun (e : edge) -> Bitset.mem members.(i) e.src) (in_edges g j)
+                  in
+                  if has_edge then begin
+                    let delta, dcpu, dmem = move_delta i j in
+                    let cpu, mem = res.(i) in
+                    if feasible lim (cpu +. dcpu, mem +. dmem) then begin
+                      let c' = !cost + cut_delta i j delta in
+                      match !best_move with
+                      | Some (_, _, best_c) when c' >= best_c -> ()
+                      | _ -> if c' < !cost then best_move := Some (i, j, c')
+                    end
+                  end
+                end)
+              root_arr)
+        root_arr;
       match !best_move with
-      | Some (r, j, c') ->
-          Hashtbl.replace absorb r (j :: Hashtbl.find absorb r);
+      | Some (i, j, c') ->
+          apply_move i j;
           cost := c';
           improved := true
       | None -> ()
     done;
-    let choices = List.map (fun r -> (r, Hashtbl.find absorb r, members_for r)) roots in
+    let choices = List.mapi (fun i r -> (r, absorb.(i), members.(i))) roots in
     Some (build_solution g roots choices)
   end
 
 let solve g lim ~roots =
   let roots' = normalize_roots g roots in
   let k = List.length roots' in
+  let is_root = root_bitset g roots' in
   let n_redges =
-    let is_root = Array.make (Callgraph.n_nodes g) false in
-    List.iter (fun r -> is_root.(r) <- true) roots';
-    List.length (List.filter (fun (e : Callgraph.edge) -> is_root.(e.Callgraph.dst)) g.Callgraph.edges)
+    List.length (List.filter (fun (e : Callgraph.edge) -> Bitset.mem is_root e.Callgraph.dst) g.Callgraph.edges)
   in
-  if k <= 14 && n_redges <= 62 then solve_exact g lim ~roots else solve_greedy g lim ~roots
+  if k <= exact_max_roots && n_redges <= exact_max_root_edges then solve_exact g lim ~roots
+  else solve_greedy g lim ~roots

@@ -13,18 +13,42 @@
 
     Edges whose target is not a root can never be cut; edges into a root j
     are internal only if {e every} subgraph containing the source also
-    absorbs j. *)
+    absorbs j.
+
+    All vertex sets are word-packed {!Quilt_util.Bitset}s internally and all
+    neighbourhood scans go through the call graph's precomputed adjacency;
+    the greedy solver additionally evaluates candidate moves incrementally
+    (per-subgraph resource totals and cut sets, delta-updated per absorb)
+    instead of rebuilding the solution per candidate. *)
+
+val exact_max_roots : int
+(** Largest root-set size the exact solver accepts; {!solve} dispatches to
+    {!solve_greedy} above it.  Shared so the dispatcher and the solver can
+    never disagree about the boundary. *)
+
+val exact_max_root_edges : int
+(** Largest number of root-targeted edges the exact solver accepts (its cut
+    masks live in one [int]); the dispatch boundary for {!solve}, like
+    {!exact_max_roots}. *)
 
 val nr_closure : Quilt_dag.Callgraph.t -> is_root:bool array -> int -> bool array
 (** [nr_closure g ~is_root r] is the least vertex set containing [r] that is
     closed under following edges to non-root targets.  [r] itself is included
     whether or not it is a root. *)
 
+val nr_closure_bits :
+  Quilt_dag.Callgraph.t -> is_root:Quilt_util.Bitset.t -> int -> Quilt_util.Bitset.t
+(** Bitset-native variant of {!nr_closure} (the hot-path entry point). *)
+
 val resources :
   Quilt_dag.Callgraph.t -> members:bool array -> root:int -> float * float
 (** [(cpu, mem)] demand of a subgraph with the given member set, per the
     accounting of Appendix B constraints 6–7: [cpu = c_root + Σ_internal
     α·c_j]; [mem = m_root + Σ_internal m_j + Σ_internal-async (α−1)·m_j]. *)
+
+val resources_bits :
+  Quilt_dag.Callgraph.t -> members:Quilt_util.Bitset.t -> root:int -> float * float
+(** Bitset-native variant of {!resources}. *)
 
 val forced_roots : Quilt_dag.Callgraph.t -> int list
 (** Roots every solution must contain because of the opt-in bit: each
@@ -41,15 +65,18 @@ val solve_exact :
 (** Optimal subgraph construction for the given roots, or [None] when
     infeasible.  The root list must contain the graph root; duplicates are
     ignored.  Raises [Invalid_argument] when the instance is too large for
-    the exact search (more than 62 root-targeted edges or more than 16
-    roots) — use {!solve_greedy} there. *)
+    the exact search (more than {!exact_max_root_edges} root-targeted edges
+    or more than {!exact_max_roots} roots) — use {!solve_greedy} there. *)
 
 val solve_greedy :
   Quilt_dag.Callgraph.t -> Types.limits -> roots:int list -> Types.solution option
 (** Hill-climbing joint assignment for large instances: start every subgraph
     at its minimal membership and repeatedly apply the absorb move that
-    reduces the joint cost the most while remaining feasible. *)
+    reduces the joint cost the most while remaining feasible.  Candidate
+    moves are scored by delta-updating cached per-subgraph resource totals
+    and root-edge cut sets, so a round costs O(k² · (deg + cut-edges))
+    instead of O(k² · k·|E|). *)
 
 val solve : Quilt_dag.Callgraph.t -> Types.limits -> roots:int list -> Types.solution option
-(** {!solve_exact} when the instance is small enough, otherwise
-    {!solve_greedy}. *)
+(** {!solve_exact} when the instance is within {!exact_max_roots} and
+    {!exact_max_root_edges}, otherwise {!solve_greedy}. *)

@@ -1,4 +1,5 @@
 module Callgraph = Quilt_dag.Callgraph
+module Bitset = Quilt_util.Bitset
 
 type weights = { beta : float; gamma : float; delta : float }
 
@@ -6,6 +7,11 @@ let default_weights = { beta = 1.0 /. 3.0; gamma = 1.0 /. 3.0; delta = 1.0 /. 3.
 
 let epsilon = 1e-9
 
+(* Per-vertex downstream demand: the whole-subtree resource accounting over
+   the vertex's descendant set.  Descendant sets are bitsets, and only the
+   descendants' own adjacency is scanned (edges wholly inside the set are
+   exactly the out-edges of its members with an in-set target), instead of
+   filtering the global edge list once per vertex. *)
 let downstream_demand (g : Callgraph.t) =
   let n = Callgraph.n_nodes g in
   let desc = Callgraph.descendant_sets g in
@@ -14,18 +20,21 @@ let downstream_demand (g : Callgraph.t) =
       let d = desc.(j) in
       let jn = node g j in
       let cpu = ref jn.cpu and mem = ref jn.mem_mb in
-      List.iter
-        (fun e ->
-          if d.(e.src) && d.(e.dst) then begin
-            let a = float_of_int (alpha g e) in
-            let callee = node g e.dst in
-            cpu := !cpu +. (a *. callee.cpu);
-            mem := !mem +. callee.mem_mb;
-            match e.kind with
-            | Async -> mem := !mem +. ((a -. 1.0) *. callee.mem_mb)
-            | Sync -> ()
-          end)
-        g.edges;
+      Bitset.iter
+        (fun v ->
+          Array.iter
+            (fun e ->
+              if Bitset.mem d e.dst then begin
+                let a = float_of_int (alpha g e) in
+                let callee = node g e.dst in
+                cpu := !cpu +. (a *. callee.cpu);
+                mem := !mem +. callee.mem_mb;
+                match e.kind with
+                | Async -> mem := !mem +. ((a -. 1.0) *. callee.mem_mb)
+                | Sync -> ()
+              end)
+            (out_edges g v))
+        d;
       (!cpu, !mem))
 
 let scores ?(weights = default_weights) (g : Callgraph.t) (lim : Types.limits) =

@@ -1,3 +1,9 @@
+(* GRASP (Appendix C.4): randomized construction over the DIH ranking plus
+   greedy root pruning.  All heavy lifting — scores, feasibility probes,
+   Phase-2 solves — runs on the bitset/adjacency kernels underneath
+   [Dih.scores] and [Closure.solve]; the RNG draw sequence is kept exactly
+   stable so seeded runs reproduce bit-identical solutions. *)
+
 module Callgraph = Quilt_dag.Callgraph
 module Rng = Quilt_util.Rng
 

@@ -11,7 +11,8 @@ let weighted_out_degree_scores (g : Callgraph.t) =
     g.Callgraph.edges;
   out
 
-(* Brandes' betweenness centrality for unweighted directed graphs. *)
+(* Brandes' betweenness centrality for unweighted directed graphs; the BFS
+   runs over the precomputed adjacency index. *)
 let betweenness_scores (g : Callgraph.t) =
   let n = Callgraph.n_nodes g in
   let bc = Array.make n 0.0 in
@@ -27,8 +28,7 @@ let betweenness_scores (g : Callgraph.t) =
     while not (Queue.is_empty queue) do
       let v = Queue.pop queue in
       stack := v :: !stack;
-      List.iter
-        (fun e ->
+      Callgraph.iter_succs g v (fun e ->
           let w = e.Callgraph.dst in
           if dist.(w) < 0 then begin
             dist.(w) <- dist.(v) + 1;
@@ -38,7 +38,6 @@ let betweenness_scores (g : Callgraph.t) =
             sigma.(w) <- sigma.(w) +. sigma.(v);
             pred.(w) <- v :: pred.(w)
           end)
-        (Callgraph.succs g v)
     done;
     let delta = Array.make n 0.0 in
     List.iter

@@ -36,7 +36,7 @@ let solution_valid (g : Callgraph.t) (lim : Types.limits) (sol : Types.solution)
         let rec visit v =
           if members.(v) && not seen.(v) then begin
             seen.(v) <- true;
-            List.iter (fun e -> visit e.Callgraph.dst) (Callgraph.succs g v)
+            Callgraph.iter_succs g v (fun e -> visit e.Callgraph.dst)
           end
         in
         visit r;

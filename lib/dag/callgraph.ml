@@ -1,10 +1,19 @@
+module Bitset = Quilt_util.Bitset
+
 type call_kind = Sync | Async
 
 type node = { id : int; name : string; mem_mb : float; cpu : float; mergeable : bool }
 
 type edge = { src : int; dst : int; weight : int; kind : call_kind }
 
-type t = { nodes : node array; edges : edge list; root : int; invocations : int }
+type t = {
+  nodes : node array;
+  edges : edge list;
+  root : int;
+  invocations : int;
+  succ_adj : edge array array;
+  pred_adj : edge array array;
+}
 
 let n_nodes g = Array.length g.nodes
 
@@ -12,20 +21,50 @@ let node g i = g.nodes.(i)
 
 let find_node g name = Array.find_opt (fun n -> n.name = name) g.nodes
 
-let succs g i = List.filter (fun e -> e.src = i) g.edges
+let out_edges g i = g.succ_adj.(i)
 
-let preds g i = List.filter (fun e -> e.dst = i) g.edges
+let in_edges g i = g.pred_adj.(i)
+
+let succs g i = Array.to_list g.succ_adj.(i)
+
+let preds g i = Array.to_list g.pred_adj.(i)
+
+let iter_succs g i f = Array.iter f g.succ_adj.(i)
+
+let iter_preds g i f = Array.iter f g.pred_adj.(i)
 
 let alpha g e =
   let n = if g.invocations <= 0 then 1 else g.invocations in
   let a = (e.weight + n - 1) / n in
   if a < 1 then 1 else a
 
+(* Adjacency is built once at graph construction; per-node arrays preserve
+   the order of the original edge list so that any summation over edges is
+   a permutation of the old all-edges scan. *)
+let build_adjacency ~n edges =
+  let out_deg = Array.make n 0 and in_deg = Array.make n 0 in
+  List.iter
+    (fun e ->
+      out_deg.(e.src) <- out_deg.(e.src) + 1;
+      in_deg.(e.dst) <- in_deg.(e.dst) + 1)
+    edges;
+  let dummy = { src = 0; dst = 0; weight = 0; kind = Sync } in
+  let succ_adj = Array.init n (fun i -> Array.make out_deg.(i) dummy) in
+  let pred_adj = Array.init n (fun i -> Array.make in_deg.(i) dummy) in
+  let out_fill = Array.make n 0 and in_fill = Array.make n 0 in
+  List.iter
+    (fun e ->
+      succ_adj.(e.src).(out_fill.(e.src)) <- e;
+      out_fill.(e.src) <- out_fill.(e.src) + 1;
+      pred_adj.(e.dst).(in_fill.(e.dst)) <- e;
+      in_fill.(e.dst) <- in_fill.(e.dst) + 1)
+    edges;
+  (succ_adj, pred_adj)
+
 (* Kahn's algorithm; also detects cycles. *)
 let topo_order_opt g =
   let n = Array.length g.nodes in
-  let indeg = Array.make n 0 in
-  List.iter (fun e -> indeg.(e.dst) <- indeg.(e.dst) + 1) g.edges;
+  let indeg = Array.init n (fun i -> Array.length g.pred_adj.(i)) in
   let queue = Queue.create () in
   Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
   let order = ref [] in
@@ -34,11 +73,11 @@ let topo_order_opt g =
     let v = Queue.pop queue in
     order := v :: !order;
     incr seen;
-    List.iter
+    Array.iter
       (fun e ->
         indeg.(e.dst) <- indeg.(e.dst) - 1;
         if indeg.(e.dst) = 0 then Queue.add e.dst queue)
-      (succs g v)
+      g.succ_adj.(v)
   done;
   if !seen = n then Some (List.rev !order) else None
 
@@ -49,11 +88,11 @@ let topo_order g =
 
 let reachable_from g start =
   let n = Array.length g.nodes in
-  let seen = Array.make n false in
+  let seen = Bitset.create n in
   let rec visit v =
-    if not seen.(v) then begin
-      seen.(v) <- true;
-      List.iter (fun e -> visit e.dst) (succs g v)
+    if not (Bitset.mem seen v) then begin
+      Bitset.set seen v;
+      Array.iter (fun e -> visit e.dst) g.succ_adj.(v)
     end
   in
   visit start;
@@ -72,37 +111,38 @@ let make ~nodes ~edges ~root ~invocations =
         invalid_arg "Callgraph.make: edge endpoint out of range";
       if e.weight < 0 then invalid_arg "Callgraph.make: negative edge weight")
     edges;
-  let g = { nodes; edges; root; invocations } in
+  let succ_adj, pred_adj = build_adjacency ~n edges in
+  let g = { nodes; edges; root; invocations; succ_adj; pred_adj } in
   (match topo_order_opt g with
   | Some _ -> ()
   | None -> invalid_arg "Callgraph.make: graph has a cycle");
   let seen = reachable_from g root in
-  Array.iteri
-    (fun i reached ->
-      if not reached then
-        invalid_arg (Printf.sprintf "Callgraph.make: node %d (%s) unreachable from root" i nodes.(i).name))
-    seen;
+  for i = 0 to n - 1 do
+    if not (Bitset.mem seen i) then
+      invalid_arg (Printf.sprintf "Callgraph.make: node %d (%s) unreachable from root" i nodes.(i).name)
+  done;
   g
 
 let is_reachable g i j =
   let seen = reachable_from g i in
-  seen.(j)
+  Bitset.mem seen j
 
 let descendant_sets g =
   let n = Array.length g.nodes in
-  let sets = Array.make n [||] in
+  let sets = Array.init n (fun _ -> Bitset.create 0) in
   let computed = Array.make n false in
-  (* Reverse topological order: successors are memoized before each node. *)
+  (* Reverse topological order: successors are memoized before each node, so
+     each set is the word-level union of the successors' sets. *)
   let order = List.rev (topo_order g) in
   List.iter
     (fun v ->
-      let d = Array.make n false in
-      d.(v) <- true;
-      List.iter
+      let d = Bitset.create n in
+      Bitset.set d v;
+      Array.iter
         (fun e ->
           assert computed.(e.dst);
-          Array.iteri (fun j b -> if b then d.(j) <- true) sets.(e.dst))
-        (succs g v);
+          Bitset.union_into ~dst:d sets.(e.dst))
+        g.succ_adj.(v);
       sets.(v) <- d;
       computed.(v) <- true)
     order;
@@ -112,7 +152,7 @@ let with_mergeable g can_merge =
   { g with nodes = Array.map (fun n -> { n with mergeable = can_merge n.name }) g.nodes }
 
 let weighted_in_degree g i =
-  List.fold_left (fun acc e -> acc +. float_of_int e.weight) 0.0 (preds g i)
+  Array.fold_left (fun acc e -> acc +. float_of_int e.weight) 0.0 g.pred_adj.(i)
 
 let pp fmt g =
   Format.fprintf fmt "@[<v>call graph (root=%s, N=%d)@," g.nodes.(g.root).name g.invocations;

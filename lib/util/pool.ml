@@ -1,0 +1,57 @@
+(* Work-stealing-free parallel map: an atomic index counter hands items to
+   worker domains; results land in a pre-sized array, so ordering is by
+   construction and no synchronization beyond the counter is needed (each
+   slot has exactly one writer, and Domain.join publishes the writes). *)
+
+let truthy = function Some ("1" | "true" | "yes") -> true | _ -> false
+
+let sequential_forced () =
+  truthy (Sys.getenv_opt "QUILT_SEQUENTIAL")
+  || Sys.getenv_opt "QUILT_POOL_DOMAINS" = Some "1"
+
+let default_domains () =
+  if sequential_forced () then 1
+  else
+    match Sys.getenv_opt "QUILT_POOL_DOMAINS" with
+    | Some s -> ( match int_of_string_opt s with Some d when d >= 1 -> d | _ -> Domain.recommended_domain_count ())
+    | None -> Domain.recommended_domain_count ()
+
+let mapi_array ?domains f items =
+  let n = Array.length items in
+  let d =
+    let requested = match domains with Some d -> d | None -> default_domains () in
+    if sequential_forced () then 1 else min requested n
+  in
+  if d <= 1 || n <= 1 then Array.mapi f items
+  else begin
+    let results : ('b, exn * Printexc.raw_backtrace) result option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          results.(i) <-
+            Some
+              (match f i items.(i) with
+              | v -> Ok v
+              | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+      done
+    in
+    let spawned = List.init (d - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    (* Re-raise the earliest failure deterministically, whichever domain hit
+       it. *)
+    Array.iter
+      (function Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt | Some (Ok _) | None -> ())
+      results;
+    Array.map (function Some (Ok v) -> v | Some (Error _) | None -> assert false) results
+  end
+
+let map_array ?domains f items = mapi_array ?domains (fun _ x -> f x) items
+
+let mapi ?domains f items = Array.to_list (mapi_array ?domains f (Array.of_list items))
+
+let map ?domains f items = mapi ?domains (fun _ x -> f x) items

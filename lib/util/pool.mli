@@ -1,0 +1,38 @@
+(** Small Domain-based parallel map (OCaml 5 multicore).
+
+    The benchmark harness has several embarrassingly parallel loops (one
+    simulator run per offered-load point, one random rDAG per repetition).
+    [map] fans such a loop out across domains while keeping the result list
+    in input order, so callers that fix per-item RNG seeds get output that is
+    bit-identical to a sequential run.
+
+    Parallelism is disabled (everything runs in the calling domain, still in
+    order) when any of the following holds:
+    - [QUILT_SEQUENTIAL=1] is set in the environment (the escape hatch for
+      debugging or for machines where timing noise matters);
+    - [~domains:1] is passed;
+    - the input has fewer than two elements.
+
+    Work items must not share mutable state with each other: each item is
+    evaluated exactly once, in exactly one domain. *)
+
+val sequential_forced : unit -> bool
+(** True when [QUILT_SEQUENTIAL=1] (or [QUILT_POOL_DOMAINS=1]) is set. *)
+
+val default_domains : unit -> int
+(** [QUILT_POOL_DOMAINS] if set and >= 1, otherwise
+    [Domain.recommended_domain_count ()]; 1 when sequential mode is
+    forced. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f items] is [List.map f items], computed on up to [domains]
+    domains (default {!default_domains}).  Results are returned in input
+    order.  If any application of [f] raises, the exception of the
+    earliest-indexed failing item is re-raised in the caller after all
+    domains have been joined. *)
+
+val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** Like {!map}, passing each item's index. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Array variant of {!map}. *)

@@ -422,6 +422,198 @@ let test_decision_auto_small_graph () =
   | None -> Alcotest.fail "auto should solve"
   | Some sol -> Alcotest.(check int) "auto picks optimal on small graphs" 3 sol.Types.cost
 
+(* --- exact-solver size caps and dispatcher consistency --- *)
+
+let test_exact_root_cap_boundary () =
+  (* A line graph with every vertex a root and limits that admit only
+     singleton groups: trivial instances, sized exactly at the cap. *)
+  let mk k =
+    let g = Quilt_dag.Gen.line_graph ~n:k ~cpu:1.0 ~mem_mb:10.0 ~weight:1 in
+    let lim = { Types.max_cpu = 1.5; max_mem_mb = 15.0 } in
+    (g, lim, List.init k (fun i -> i))
+  in
+  let g, lim, roots = mk Closure.exact_max_roots in
+  (match Closure.solve_exact g lim ~roots with
+  | Some sol -> Alcotest.(check int) "all edges cut at the cap" (Metrics.baseline_cost g) sol.Types.cost
+  | None -> Alcotest.fail "instance at exact_max_roots must be solvable");
+  let g, lim, roots = mk (Closure.exact_max_roots + 1) in
+  (match Closure.solve_exact g lim ~roots with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument above exact_max_roots");
+  (* The dispatcher must route the same instance to the greedy solver
+     instead of tripping the exact solver's guard. *)
+  match Closure.solve g lim ~roots with
+  | Some sol -> Alcotest.(check bool) "greedy fallback valid" true (Metrics.solution_valid g lim sol = Ok ())
+  | None -> Alcotest.fail "dispatcher must fall back to solve_greedy above the cap"
+
+let test_exact_root_edge_cap () =
+  (* Few roots but more root-targeted edges than fit in one cut mask: 0 fans
+     out to [fan] vertices that all call root 1. *)
+  let fan = Closure.exact_max_root_edges + 1 in
+  let n = fan + 2 in
+  let nodes = Array.init n (fun i -> node i (Printf.sprintf "f%d" i) 1.0 0.01) in
+  let edges = List.concat (List.init fan (fun i -> [ sync 0 (i + 2) 1; sync (i + 2) 1 1 ])) in
+  let g = Callgraph.make ~nodes ~edges ~root:0 ~invocations:1 in
+  let lim = { Types.max_cpu = big; max_mem_mb = big } in
+  let roots = [ 0; 1 ] in
+  (match Closure.solve_exact g lim ~roots with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument above exact_max_root_edges");
+  match Closure.solve g lim ~roots with
+  | Some sol -> Alcotest.(check bool) "greedy fallback valid" true (Metrics.solution_valid g lim sol = Ok ())
+  | None -> Alcotest.fail "dispatcher must fall back to solve_greedy above the edge cap"
+
+(* --- incremental greedy vs rebuild-from-scratch reference --- *)
+
+(* The pre-optimization greedy solver, transcribed as a reference: every
+   candidate move is re-scored by rebuilding members and the full joint cost
+   from scratch through the public closure API.  The incremental solver must
+   return exactly the same solution (same absorb choices, members, cost). *)
+let reference_greedy (g : Callgraph.t) (lim : Types.limits) ~roots =
+  let n = Callgraph.n_nodes g in
+  let roots =
+    let seen = Hashtbl.create 8 in
+    let uniq =
+      List.filter
+        (fun r -> if Hashtbl.mem seen r then false else (Hashtbl.add seen r (); true))
+        (roots @ Closure.forced_roots g)
+    in
+    let uniq = if List.mem g.Callgraph.root uniq then uniq else g.Callgraph.root :: uniq in
+    g.Callgraph.root :: List.filter (fun r -> r <> g.Callgraph.root) uniq
+  in
+  let is_root = Array.make n false in
+  List.iter (fun r -> is_root.(r) <- true) roots;
+  let closures = Array.make n [||] in
+  List.iter (fun r -> closures.(r) <- Closure.nr_closure g ~is_root r) roots;
+  let feasible (cpu, mem) = cpu <= lim.Types.max_cpu +. 1e-9 && mem <= lim.Types.max_mem_mb +. 1e-9 in
+  let connected ~members ~root =
+    let ok = ref true in
+    Array.iteri
+      (fun j in_m ->
+        if in_m && j <> root then
+          if not (List.exists (fun e -> members.(e.Callgraph.src)) (Callgraph.preds g j)) then
+            ok := false)
+      members;
+    !ok
+  in
+  let members_of absorb =
+    let m = Array.make n false in
+    List.iter (fun s -> Array.iteri (fun j b -> if b then m.(j) <- true) closures.(s)) absorb;
+    m
+  in
+  let absorb = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace absorb r [ r ]) roots;
+  let members_for r = members_of (Hashtbl.find absorb r) in
+  let joint_cost () =
+    let cost = ref 0 in
+    List.iter
+      (fun (e : Callgraph.edge) ->
+        let cut =
+          List.exists
+            (fun r ->
+              let members = members_for r and a = Hashtbl.find absorb r in
+              members.(e.Callgraph.src)
+              && not (List.mem e.Callgraph.dst a || members.(e.Callgraph.dst)))
+            roots
+        in
+        if cut then cost := !cost + e.Callgraph.weight)
+      g.Callgraph.edges;
+    !cost
+  in
+  let all_feasible () =
+    List.for_all
+      (fun r ->
+        let members = members_for r in
+        connected ~members ~root:r && feasible (Closure.resources g ~members ~root:r))
+      roots
+  in
+  if not (all_feasible ()) then None
+  else begin
+    let cost = ref (joint_cost ()) in
+    let improved = ref true in
+    while !improved do
+      improved := false;
+      let best_move = ref None in
+      List.iter
+        (fun r ->
+          let current = Hashtbl.find absorb r in
+          let members = members_for r in
+          List.iter
+            (fun j ->
+              if
+                j <> r
+                && (not (List.mem j current))
+                && (Callgraph.node g r).Callgraph.mergeable
+                && (Callgraph.node g j).Callgraph.mergeable
+              then begin
+                let has_edge =
+                  List.exists
+                    (fun (e : Callgraph.edge) -> e.Callgraph.dst = j && members.(e.Callgraph.src))
+                    g.Callgraph.edges
+                in
+                if has_edge then begin
+                  Hashtbl.replace absorb r (j :: current);
+                  let m' = members_for r in
+                  let ok =
+                    connected ~members:m' ~root:r
+                    && feasible (Closure.resources g ~members:m' ~root:r)
+                  in
+                  (if ok then begin
+                     let c' = joint_cost () in
+                     match !best_move with
+                     | Some (_, _, best_c) when c' >= best_c -> ()
+                     | _ -> if c' < !cost then best_move := Some (r, j, c')
+                   end);
+                  Hashtbl.replace absorb r current
+                end
+              end)
+            roots)
+        roots;
+      match !best_move with
+      | Some (r, j, c') ->
+          Hashtbl.replace absorb r (j :: Hashtbl.find absorb r);
+          cost := c';
+          improved := true
+      | None -> ()
+    done;
+    let subgraphs =
+      List.map
+        (fun r ->
+          let members = members_for r in
+          let cpu, mem = Closure.resources g ~members ~root:r in
+          { Types.root = r; absorbed = Hashtbl.find absorb r; members; cpu; mem_mb = mem })
+        roots
+    in
+    Some { Types.roots; subgraphs; cost = joint_cost () }
+  end
+
+let prop_incremental_greedy_matches_reference =
+  QCheck.Test.make ~name:"incremental greedy = rebuild-from-scratch reference" ~count:60
+    (QCheck.int_range 1 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = Rng.int_in rng 4 30 in
+      let g, lims = Gen.random_rdag rng ~n () in
+      let lim = { Types.max_cpu = lims.Gen.max_cpu; max_mem_mb = lims.Gen.max_mem_mb } in
+      let extras =
+        List.filter
+          (fun v -> v <> g.Callgraph.root && Rng.chance rng 0.35)
+          (List.init n (fun i -> i))
+      in
+      let roots = g.Callgraph.root :: extras in
+      match reference_greedy g lim ~roots, Closure.solve_greedy g lim ~roots with
+      | None, None -> true
+      | Some a, Some b ->
+          a.Types.cost = b.Types.cost
+          && List.length a.Types.subgraphs = List.length b.Types.subgraphs
+          && List.for_all2
+               (fun (sa : Types.subgraph) (sb : Types.subgraph) ->
+                 sa.Types.root = sb.Types.root
+                 && sa.Types.members = sb.Types.members
+                 && List.sort compare sa.Types.absorbed = List.sort compare sb.Types.absorbed)
+               a.Types.subgraphs b.Types.subgraphs
+      | Some _, None | None, Some _ -> false)
+
 let test_decision_names () =
   Alcotest.(check string) "optimal" "optimal" (Decision.algorithm_name Decision.Optimal);
   Alcotest.(check string) "dih" "downstream-impact" (Decision.algorithm_name Decision.Dih)
@@ -445,9 +637,12 @@ let suite =
         Alcotest.test_case "absorption internalizes edges" `Quick test_solve_exact_absorption;
         Alcotest.test_case "cut when absorption infeasible" `Quick test_solve_exact_cut_when_absorption_infeasible;
         Alcotest.test_case "root_set_feasible" `Quick test_root_set_feasible;
+        Alcotest.test_case "exact root cap boundary" `Quick test_exact_root_cap_boundary;
+        Alcotest.test_case "exact root-edge cap" `Quick test_exact_root_edge_cap;
         QCheck_alcotest.to_alcotest prop_closure_matches_ilp;
         QCheck_alcotest.to_alcotest prop_exact_solutions_valid;
         QCheck_alcotest.to_alcotest prop_greedy_never_beats_exact;
+        QCheck_alcotest.to_alcotest prop_incremental_greedy_matches_reference;
       ] );
     ( "cluster.optimal",
       [

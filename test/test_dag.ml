@@ -3,6 +3,7 @@
 module Callgraph = Quilt_dag.Callgraph
 module Gen = Quilt_dag.Gen
 module Rng = Quilt_util.Rng
+module Bitset = Quilt_util.Bitset
 
 let mk_node id name = { Callgraph.id; name; mem_mb = 10.0; cpu = 1.0; mergeable = true }
 
@@ -74,10 +75,10 @@ let test_topo_order () =
 let test_descendant_sets () =
   let g = simple_graph () in
   let d = Callgraph.descendant_sets g in
-  Alcotest.(check bool) "root reaches all" true (Array.for_all (fun b -> b) d.(0));
-  Alcotest.(check bool) "a reaches c" true d.(1).(3);
-  Alcotest.(check bool) "a does not reach b" false d.(1).(2);
-  Alcotest.(check bool) "c reaches only itself" true (d.(3) = [| false; false; false; true |])
+  Alcotest.(check int) "root reaches all" 4 (Bitset.count d.(0));
+  Alcotest.(check bool) "a reaches c" true (Bitset.mem d.(1) 3);
+  Alcotest.(check bool) "a does not reach b" false (Bitset.mem d.(1) 2);
+  Alcotest.(check (list int)) "c reaches only itself" [ 3 ] (Bitset.elements d.(3))
 
 let test_weighted_in_degree () =
   let g = simple_graph () in
@@ -146,6 +147,49 @@ let test_to_dot_contains_nodes () =
   Alcotest.(check bool) "mentions root" true (contains_substring dot "root");
   Alcotest.(check bool) "has async style" true (contains_substring dot "dashed")
 
+(* The precomputed adjacency index and the bitset reachability kernels must
+   agree exactly with naive edge-list scans. *)
+let prop_adjacency_matches_edge_list =
+  let open QCheck in
+  Test.make ~name:"succs/preds adjacency = naive edge-list scan" ~count:50
+    (int_range 2 60)
+    (fun n ->
+      let rng = Rng.create (n * 131) in
+      let g, _ = Quilt_dag.Gen.random_rdag rng ~n () in
+      let edges = g.Callgraph.edges in
+      List.for_all
+        (fun v ->
+          Callgraph.succs g v = List.filter (fun e -> e.Callgraph.src = v) edges
+          && Callgraph.preds g v = List.filter (fun e -> e.Callgraph.dst = v) edges
+          && Array.to_list (Callgraph.out_edges g v) = Callgraph.succs g v
+          && Array.to_list (Callgraph.in_edges g v) = Callgraph.preds g v)
+        (List.init n (fun i -> i)))
+
+let prop_descendants_match_naive_dfs =
+  let open QCheck in
+  Test.make ~name:"bitset descendants/reachability = naive DFS" ~count:50
+    (int_range 2 50)
+    (fun n ->
+      let rng = Rng.create (n * 733) in
+      let g, _ = Quilt_dag.Gen.random_rdag rng ~n () in
+      let naive_reach v =
+        let seen = Array.make n false in
+        let rec go u =
+          if not seen.(u) then begin
+            seen.(u) <- true;
+            List.iter (fun e -> go e.Callgraph.dst) (Callgraph.succs g u)
+          end
+        in
+        go v;
+        seen
+      in
+      let d = Callgraph.descendant_sets g in
+      List.for_all
+        (fun v ->
+          Bitset.to_bool_array d.(v) = naive_reach v
+          && Bitset.to_bool_array (Callgraph.reachable_from g v) = naive_reach v)
+        (List.init n (fun i -> i)))
+
 let prop_random_rdag_acyclic_connected =
   let open QCheck in
   Test.make ~name:"random rdag is always valid (make validates)" ~count:50
@@ -171,6 +215,8 @@ let suite =
         Alcotest.test_case "weighted in-degree" `Quick test_weighted_in_degree;
         Alcotest.test_case "find node" `Quick test_find_node;
         Alcotest.test_case "to_dot" `Quick test_to_dot_contains_nodes;
+        QCheck_alcotest.to_alcotest prop_adjacency_matches_edge_list;
+        QCheck_alcotest.to_alcotest prop_descendants_match_naive_dfs;
       ] );
     ( "dag.gen",
       [

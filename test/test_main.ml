@@ -4,6 +4,7 @@ let () =
   Alcotest.run "quilt"
     (List.concat [
        Test_util.suite;
+       Test_bitset.suite;
        Test_dag.suite;
        Test_ilp.suite;
        Test_cluster.suite;
