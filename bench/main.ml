@@ -13,6 +13,7 @@ let experiments =
     ("fig10", Fig10.run, "conditional invocations under fan-out (Figure 10)");
     ("table_e", Table_e.run, "binary sizes (Appendix E)");
     ("figA", Fig_a.run, "more subgraphs can cost less (Appendix A)");
+    ("adaptive", Adaptive.run, "online control plane: drift, re-merge, canary (writes BENCH_adaptive.json)");
     ("micro", Micro.run, "bechamel micro-benchmarks of the core algorithms");
   ]
 
@@ -23,6 +24,13 @@ let usage () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    (* --smoke shrinks the adaptive scenarios without flipping the whole
+       harness into QUILT_BENCH_FAST mode. *)
+    List.filter
+      (fun a -> if a = "--smoke" then (Adaptive.smoke_flag := true; false) else true)
+      args
+  in
   match args with
   | [ "--help" ] | [ "help" ] -> usage ()
   | [] ->

@@ -109,6 +109,30 @@ let bench_cmd async rate duration name =
   Printf.printf "  quilt   : median %8.2f ms   p99 %8.2f ms   throughput %7.0f rps\n"
     (Loadgen.median_ms q) (Loadgen.p99_ms q) q.Loadgen.throughput_rps
 
+let adapt_cmd smoke no_controller scenario =
+  let run wc =
+    match Quilt_control.Scenario.run ~smoke ~with_controller:wc scenario with
+    | Ok o -> o
+    | Error e ->
+        Printf.eprintf "adapt failed: %s\n" e;
+        exit 1
+  in
+  if no_controller then Quilt_control.Scenario.print_outcome (run false)
+  else begin
+    let o = run true in
+    Quilt_control.Scenario.print_outcome o;
+    let stale = run false in
+    let ps = Quilt_control.Scenario.post_shift_phase scenario in
+    match
+      ( List.assoc_opt ps o.Quilt_control.Scenario.o_phased.Loadgen.per_phase,
+        List.assoc_opt ps stale.Quilt_control.Scenario.o_phased.Loadgen.per_phase )
+    with
+    | Some a, Some s ->
+        Printf.printf "post-shift (%s) p99: %.2f ms adapted vs %.2f ms stale\n" ps
+          (Loadgen.p99_ms a) (Loadgen.p99_ms s)
+    | _ -> ()
+  end
+
 (* --- cmdliner wiring --- *)
 
 open Cmdliner
@@ -146,6 +170,25 @@ let bench_t =
     (Cmd.info "bench" ~doc:"Compare baseline and Quilt deployments under load")
     Term.(const bench_cmd $ async_flag $ rate $ duration $ workflow_arg)
 
+let adapt_t =
+  let smoke = Arg.(value & flag & info [ "smoke" ] ~doc:"Shrink every phase to a few virtual seconds.") in
+  let no_controller =
+    Arg.(value & flag & info [ "no-controller" ] ~doc:"Run the phased workload without the controller.")
+  in
+  let scenario =
+    Arg.(
+      value
+      & pos 0 string "path-shift"
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            (Printf.sprintf "One of: %s." (String.concat ", " Quilt_control.Scenario.names)))
+  in
+  Cmd.v
+    (Cmd.info "adapt" ~doc:"Run an adaptive scenario under the online control plane")
+    Term.(const adapt_cmd $ smoke $ no_controller $ scenario)
+
 let () =
   let doc = "Quilt: resource-aware merging of serverless workflows (SOSP 2025), reproduced in OCaml" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "quilt" ~doc) [ list_t; inspect_t; decide_t; merge_t; bench_t ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "quilt" ~doc) [ list_t; inspect_t; decide_t; merge_t; bench_t; adapt_t ]))

@@ -87,6 +87,61 @@ let fan_out ?(lang = "rust") ~callee_mem_mb () =
     code_edges = [ ("fan-out", "fan-out-worker", Quilt_dag.Callgraph.Async) ];
   }
 
+(* Online-control-plane scenario: the entry routes each request down one of
+   two 2-function chains based on the request's "route" field.  Chains are
+   CPU-sized so that (under a tightened cpu budget, see the adaptive
+   scenarios) the entry plus ONE chain fits a container while entry plus
+   both chains does not — the optimal merge therefore co-locates the HOT
+   chain with the entry, and flipping the request mix between phases
+   invalidates the stale decision.  Memory is kept small enough that two
+   concurrent in-flight requests never OOM a merged container. *)
+let routed_req ~b_share rng =
+  let route = if Rng.chance rng b_share then 1 else 0 in
+  Printf.sprintf "{\"route\":%d,\"data\":\"r%d\"}" route (Rng.int rng 30)
+
+let routed ?(lang = "rust") () =
+  let fn = Workflow.std_fn ~lang in
+  let path pfx =
+    [
+      fn
+        ~name:(Printf.sprintf "route-%s1" pfx)
+        ~profile:(p ~c:3_500 ~db:1_500 ~m:14)
+        ~children:[ Printf.sprintf "route-%s2" pfx ]
+        ();
+      fn ~name:(Printf.sprintf "route-%s2" pfx) ~profile:(p ~c:3_000 ~db:1_500 ~m:14) ();
+    ]
+  in
+  let child_req =
+    Ast.Json_set_str (Ast.Json_empty, "data", Ast.Json_get_str (Ast.Var "req", "data"))
+  in
+  let entry_body =
+    Ast.Json_set_str
+      ( Ast.Json_empty,
+        "data",
+        Ast.If
+          ( Ast.Json_get_int (Ast.Var "req", "route"),
+            Ast.Json_get_str (Ast.Invoke ("route-b1", child_req), "data"),
+            Ast.Json_get_str (Ast.Invoke ("route-a1", child_req), "data") ) )
+  in
+  let entry =
+    {
+      Ast.fn_name = "route-split";
+      fn_lang = lang;
+      mergeable = true;
+      body =
+        Ast.Seq
+          (Ast.Use_mem (Ast.Int_lit 8), Ast.Seq (Ast.Burn (Ast.Int_lit 2_500), entry_body));
+    }
+  in
+  let functions = entry :: (path "a" @ path "b") in
+  {
+    Workflow.wf_name = "routed";
+    entry = "route-split";
+    functions;
+    gen_req = routed_req ~b_share:0.5;
+    code_edges = Workflow.edges_of functions;
+  }
+
 let cross_language () =
   let chain = [ ("xl-c", "c"); ("xl-cpp", "cpp"); ("xl-rust", "rust"); ("xl-go", "go"); ("xl-swift", "swift") ] in
   let rec build = function

@@ -17,5 +17,15 @@ val fan_out : ?lang:string -> callee_mem_mb:int -> unit -> Workflow.t
 (** Request format [{"num": k}]: the entry invokes [fan-out-worker]
     asynchronously [k] times; each worker instance holds [callee_mem_mb]. *)
 
+val routed : ?lang:string -> unit -> Workflow.t
+(** The adaptive scenario's workload: entry [route-split] forwards each
+    request down chain A ([route-a1] → [route-a2]) when the request's
+    ["route"] field is 0, chain B otherwise.  Chains are sized so the
+    entry plus one chain fits a default container but entry plus both
+    does not; shifting the A/B mix flips the optimal merge. *)
+
+val routed_req : b_share:float -> Quilt_util.Rng.t -> string
+(** Request generator with a given probability of taking chain B. *)
+
 val cross_language : unit -> Workflow.t
 (** A chain c → cpp → rust → go → swift. *)

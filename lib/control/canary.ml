@@ -1,0 +1,37 @@
+module Histogram = Quilt_util.Histogram
+
+type config = {
+  quantile : float;
+  regress_ratio : float;
+  max_fail_delta : float;
+  min_samples : int;
+}
+
+let default = { quantile = 0.99; regress_ratio = 2.0; max_fail_delta = 0.05; min_samples = 20 }
+
+type stats = { n : int; fail_rate : float; tail_us : float }
+
+let stats_of cfg samples =
+  let n = List.length samples in
+  let fails = List.length (List.filter (fun (_, ok) -> not ok) samples) in
+  let hist = Histogram.create () in
+  List.iter (fun (lat, ok) -> if ok then Histogram.record hist lat) samples;
+  let tail = if Histogram.count hist = 0 then 0.0 else Histogram.quantile hist cfg.quantile in
+  { n; fail_rate = (if n = 0 then 0.0 else float_of_int fails /. float_of_int n); tail_us = tail }
+
+type verdict = Pass | Regress of string | Inconclusive of string
+
+let judge cfg ~pre ~post =
+  if post.n < cfg.min_samples then
+    Inconclusive (Printf.sprintf "only %d post-switch samples (< %d)" post.n cfg.min_samples)
+  else if pre.n < cfg.min_samples then
+    Inconclusive (Printf.sprintf "only %d pre-switch samples (< %d)" pre.n cfg.min_samples)
+  else if post.fail_rate > pre.fail_rate +. cfg.max_fail_delta then
+    Regress
+      (Printf.sprintf "failure rate %.1f%% -> %.1f%%" (100.0 *. pre.fail_rate)
+         (100.0 *. post.fail_rate))
+  else if pre.tail_us > 0.0 && post.tail_us /. pre.tail_us > cfg.regress_ratio then
+    Regress
+      (Printf.sprintf "p%.0f %.1f ms -> %.1f ms (x%.2f)" (100.0 *. cfg.quantile)
+         (pre.tail_us /. 1000.0) (post.tail_us /. 1000.0) (post.tail_us /. pre.tail_us))
+  else Pass

@@ -1,0 +1,33 @@
+(** Canary judgement for a freshly switched deployment.
+
+    Every redeploy is an experiment: the controller snapshots the latency
+    stream before the switch, lets the new version warm up, and compares
+    the post-switch tail and failure rate against the pre-switch window.
+    A regression beyond the configured ratios reverts the switch. *)
+
+type config = {
+  quantile : float;  (** Tail quantile compared (default 0.99). *)
+  regress_ratio : float;
+      (** Post/pre tail-latency ratio above which the switch is judged a
+          regression (default 2.0 — generous enough that the tail of the
+          rolling update's cold-start transient is not mistaken for one). *)
+  max_fail_delta : float;
+      (** Absolute failure-rate increase tolerated (default 0.05). *)
+  min_samples : int;  (** Below this many post-switch samples the verdict
+      is {!Inconclusive} (default 20). *)
+}
+
+val default : config
+
+type stats = { n : int; fail_rate : float; tail_us : float }
+
+val stats_of : config -> (float * bool) list -> stats
+(** From (latency_us, ok) samples; [tail_us] is over successes only and 0
+    when there are none. *)
+
+type verdict = Pass | Regress of string | Inconclusive of string
+
+val judge : config -> pre:stats -> post:stats -> verdict
+(** Failure-rate spike is checked first (an OOM-looping deployment can
+    show a {e lower} tail because only cheap requests survive), then the
+    tail ratio.  [Inconclusive] when either side lacks samples. *)

@@ -1,0 +1,102 @@
+(** The closed-loop controller (§1.1's "monitors its merged functions and
+    reconsiders the merge", run online).
+
+    The controller lives {e inside} the simulation: {!start} registers a
+    completion hook (the latency/failure stream) and schedules periodic
+    ticks on the engine's event queue.  Each tick advances the sliding
+    trace window, rebuilds the windowed call graph, and feeds its drift
+    against the deployed plan's graph through a hysteresis/cooldown
+    detector.  On a trigger it re-runs the decision solver on the window
+    graph and — if the grouping actually changed — redeploys via rolling
+    update, then guards the switch with a canary comparison of post- vs
+    pre-switch tail latency and failure rate, rolling back on regression.
+    Rolled-back groupings are held down so the controller does not
+    oscillate back into a configuration the canary already rejected. *)
+
+type config = {
+  tick_us : float;  (** Controller period (default 2 s). *)
+  window_us : float;  (** Sliding profile window (default 8 s). *)
+  threshold : float;  (** Relative drift threshold (default 0.3). *)
+  hysteresis : int;  (** Consecutive drifted windows required (default 2). *)
+  cooldown_us : float;  (** Quiet period after any action (default 10 s). *)
+  min_invocations : int;
+      (** Windows with fewer entry invocations are skipped (default 40). *)
+  canary : Canary.config;
+  canary_warmup_us : float;
+      (** Post-switch samples ignored while the new version warms up —
+          long enough to cover the route flip and the new pool's scale-up
+          (default 5 s). *)
+  canary_eval_us : float;
+      (** Judged this long after the warm-up ends (default 6 s). *)
+}
+
+val default_config : config
+
+type kind =
+  | Kept  (** Window evaluated, no drift. *)
+  | Suspected of int  (** Drift streak below hysteresis. *)
+  | Remerged  (** New plan deployed, canary started. *)
+  | Rebaselined
+      (** Drift triggered but the solver kept the same grouping: the
+          window graph becomes the new comparison baseline, nothing is
+          redeployed. *)
+  | Held  (** The solver proposed a grouping the canary already rolled
+          back; observation rebaselined, no redeploy. *)
+  | Remerge_failed  (** No feasible grouping (or re-optimization error). *)
+  | Canary_passed
+  | Canary_rolled_back
+  | Watchdog_rolled_back
+      (** The standing SLO watchdog reverted the last switch: the
+          stable-state failure rate blew past the canary's tolerance under
+          a workload the canary window never saw. *)
+  | Skipped  (** Window empty or too few invocations. *)
+
+type event = { ev_ts : float; ev_kind : kind; ev_detail : string }
+
+type summary = {
+  s_ticks : int;
+  s_keeps : int;
+  s_suspects : int;
+  s_remerges : int;
+  s_rebaselines : int;
+  s_holds : int;
+  s_failures : int;
+  s_canary_passes : int;
+  s_rollbacks : int;
+  s_watchdogs : int;
+  s_skipped : int;
+}
+
+val kind_name : kind -> string
+
+type t
+
+val create :
+  Quilt_platform.Engine.t ->
+  ?cfg:config ->
+  quilt_cfg:Quilt_core.Config.t ->
+  workflows:Quilt_apps.Workflow.t list ->
+  plan:Quilt_core.Quilt.t ->
+  unit ->
+  t
+
+val start : t -> until:float -> unit
+(** Enables profiling, registers the completion hook and schedules the
+    first tick.  Ticks self-reschedule only while the engine clock is
+    below [until], so {!Quilt_platform.Engine.drain} terminates. *)
+
+val plan : t -> Quilt_core.Quilt.t
+(** The currently deployed plan (updated by remerges and rollbacks). *)
+
+val events : t -> event list
+(** Chronological. *)
+
+val summary : t -> summary
+
+val fingerprint : Quilt_core.Quilt.t -> string
+(** Canonical encoding of a plan's grouping: sorted member lists plus the
+    guard budgets of each merged deployment.  Two plans with equal
+    fingerprints deploy identical containers. *)
+
+val events_json : t -> Quilt_util.Json.t
+val summary_json : t -> Quilt_util.Json.t

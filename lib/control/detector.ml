@@ -1,0 +1,31 @@
+module Drift = Quilt_dag.Drift
+
+type t = {
+  thr : float;
+  hysteresis : int;
+  cooldown_us : float;
+  mutable streak : int;
+  mutable cooldown_until : float;
+}
+
+type status = No_drift | Suspect of int | Trigger | Cooling
+
+let create ?(threshold = 0.3) ?(hysteresis = 2) ?(cooldown_us = 10_000_000.0) () =
+  { thr = threshold; hysteresis; cooldown_us; streak = 0; cooldown_until = neg_infinity }
+
+let threshold t = t.thr
+
+let observe t ~now report =
+  if now < t.cooldown_until then Cooling
+  else if not (Drift.drifted report) then begin
+    t.streak <- 0;
+    No_drift
+  end
+  else begin
+    t.streak <- t.streak + 1;
+    if t.streak >= t.hysteresis then Trigger else Suspect t.streak
+  end
+
+let note_action t ~now =
+  t.streak <- 0;
+  t.cooldown_until <- now +. t.cooldown_us

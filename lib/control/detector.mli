@@ -1,0 +1,31 @@
+(** Stateful drift detection: hysteresis and cooldown on top of the pure
+    {!Quilt_dag.Drift} comparison.
+
+    A single noisy window must not cause a redeploy, and a redeploy must
+    not be followed immediately by another: the detector requires
+    [hysteresis] {e consecutive} drifted windows before it triggers, and
+    after the controller acts ({!note_action}) it stays silent for
+    [cooldown_us] of virtual time. *)
+
+type t
+
+type status =
+  | No_drift  (** Window matched the baseline; any streak is reset. *)
+  | Suspect of int  (** Drifted, but the streak is still below hysteresis. *)
+  | Trigger  (** [hysteresis] consecutive drifted windows: act now. *)
+  | Cooling  (** Inside the post-action cooldown; evaluation skipped. *)
+
+val create : ?threshold:float -> ?hysteresis:int -> ?cooldown_us:float -> unit -> t
+(** Defaults: threshold 0.3 (relative), hysteresis 2 windows, cooldown
+    10 s of virtual time. *)
+
+val threshold : t -> float
+
+val observe : t -> now:float -> Quilt_dag.Drift.report -> status
+(** Feeds one window's drift report.  Pure with respect to the report: a
+    report with {!Quilt_dag.Drift.drifted}[ = false] can never produce
+    [Trigger], whatever the detector's history. *)
+
+val note_action : t -> now:float -> unit
+(** The controller acted (redeploy, rebaseline, rollback, or failed
+    attempt): reset the streak and start the cooldown. *)

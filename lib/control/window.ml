@@ -1,0 +1,44 @@
+module Engine = Quilt_platform.Engine
+module Trace = Quilt_tracing.Trace
+module Builder = Quilt_tracing.Builder
+module Workflow = Quilt_apps.Workflow
+
+type t = {
+  engine : Engine.t;
+  wf : Workflow.t;
+  win_us : float;
+  slack : float;
+  mutable floor : float;
+}
+
+let create engine ~workflow ?(window_us = 8_000_000.0) ?(slack = 0.25) () =
+  { engine; wf = workflow; win_us = window_us; slack; floor = 0.0 }
+
+let window_us t = t.win_us
+
+let start_of t =
+  let now = Engine.now t.engine in
+  Float.max (now -. t.win_us) t.floor
+
+let advance t =
+  let now = Engine.now t.engine in
+  let keep_from = now -. (t.win_us *. (1.0 +. t.slack)) in
+  if keep_from > 0.0 then Trace.evict_before (Engine.tracing t.engine) keep_from
+
+let set_floor t f = t.floor <- Float.max t.floor f
+
+let graph t =
+  let st = Engine.tracing t.engine in
+  match Builder.build st ~entry:t.wf.Workflow.entry ~window_start:(start_of t) () with
+  | Error e -> Error e
+  | Ok g ->
+      let g = Builder.known_calls ~code_edges:t.wf.Workflow.code_edges g in
+      Ok (Quilt_core.Quilt.with_optin t.wf g)
+
+let invocations_in_window t =
+  let st = Engine.tracing t.engine in
+  let since = start_of t in
+  List.length
+    (List.filter
+       (fun (s : Trace.span) -> s.Trace.caller = None && s.Trace.callee = t.wf.Workflow.entry)
+       (Trace.spans st ~since ()))

@@ -2,6 +2,7 @@ module Engine = Quilt_platform.Engine
 module Loadgen = Quilt_platform.Loadgen
 module Builder = Quilt_tracing.Builder
 module Callgraph = Quilt_dag.Callgraph
+module Drift = Quilt_dag.Drift
 module Decision = Quilt_cluster.Decision
 module Types = Quilt_cluster.Types
 module Workflow = Quilt_apps.Workflow
@@ -21,6 +22,16 @@ let fresh_platform ?(seed = 7) ?params ?(config = Config.default) ~workflows () 
   List.iter (fun wf -> Deploy.deploy_baseline engine config wf) workflows;
   engine
 
+(* Traces do not carry the developers' opt-in bit (§1.1); attach it from
+   the uploaded functions. *)
+let with_optin (wf : Workflow.t) g =
+  let can_merge name =
+    match Workflow.lookup wf name with
+    | fn -> fn.Quilt_lang.Ast.mergeable
+    | exception Not_found -> true
+  in
+  Callgraph.with_mergeable g can_merge
+
 let profile (cfg : Config.t) ~workflows (wf : Workflow.t) =
   let engine = fresh_platform ~seed:cfg.Config.seed ~config:cfg ~workflows () in
   Engine.set_profiling engine true;
@@ -34,14 +45,7 @@ let profile (cfg : Config.t) ~workflows (wf : Workflow.t) =
   | Error e -> Error e
   | Ok g ->
       let g = Builder.known_calls ~code_edges:wf.Workflow.code_edges g in
-      (* Traces do not carry the developers' opt-in bit (§1.1); attach it
-         from the uploaded functions. *)
-      let can_merge name =
-        match Workflow.lookup wf name with
-        | fn -> fn.Quilt_lang.Ast.mergeable
-        | exception Not_found -> true
-      in
-      Ok (Callgraph.with_mergeable g can_merge)
+      Ok (with_optin wf g)
 
 let optimize ?graph (cfg : Config.t) ~workflows (wf : Workflow.t) =
   let graph_result =
@@ -82,45 +86,10 @@ let rollback engine cfg (t : t) =
       Engine.deploy engine (Deploy.baseline_spec cfg fn))
     t.deployments
 
-type reconsideration = Keep | Remerge of t | Rollback_advised of string
-
-(* Structural + quantitative drift between the profile a plan was built on
-   and a fresh one. *)
-let graphs_drifted ~threshold (old_g : Callgraph.t) (new_g : Callgraph.t) =
-  let edge_key g (e : Callgraph.edge) =
-    ((Callgraph.node g e.Callgraph.src).Callgraph.name, (Callgraph.node g e.Callgraph.dst).Callgraph.name)
-  in
-  let old_names = List.sort compare (Array.to_list (Array.map (fun n -> n.Callgraph.name) old_g.Callgraph.nodes)) in
-  let new_names = List.sort compare (Array.to_list (Array.map (fun n -> n.Callgraph.name) new_g.Callgraph.nodes)) in
-  if old_names <> new_names then true
-  else begin
-    let old_edges = List.sort compare (List.map (edge_key old_g) old_g.Callgraph.edges) in
-    let new_edges = List.sort compare (List.map (edge_key new_g) new_g.Callgraph.edges) in
-    if old_edges <> new_edges then true
-    else begin
-      let alpha_of g name_pair =
-        List.find_map
-          (fun (e : Callgraph.edge) -> if edge_key g e = name_pair then Some (Callgraph.alpha g e) else None)
-          g.Callgraph.edges
-      in
-      let alpha_drift =
-        List.exists (fun key -> alpha_of old_g key <> alpha_of new_g key) old_edges
-      in
-      let rel a b = if a = 0.0 then Float.abs b else Float.abs (b -. a) /. a in
-      let resource_drift =
-        Array.exists
-          (fun (nd : Callgraph.node) ->
-            match Callgraph.find_node new_g nd.Callgraph.name with
-            | Some nd' ->
-                rel nd.Callgraph.cpu nd'.Callgraph.cpu > threshold
-                || rel nd.Callgraph.mem_mb nd'.Callgraph.mem_mb > threshold
-                || nd.Callgraph.mergeable <> nd'.Callgraph.mergeable
-            | None -> true)
-          old_g.Callgraph.nodes
-      in
-      alpha_drift || resource_drift
-    end
-  end
+type reconsideration =
+  | Keep of Drift.report
+  | Remerge of t * Drift.report
+  | Rollback_advised of string
 
 let reconsider ?(drift_threshold = 0.3) (cfg : Config.t) ~workflows (t : t) =
   (* Pick up the (possibly updated) workflow by name. *)
@@ -132,10 +101,11 @@ let reconsider ?(drift_threshold = 0.3) (cfg : Config.t) ~workflows (t : t) =
   match profile cfg ~workflows wf with
   | Error e -> Rollback_advised (Printf.sprintf "re-profiling failed: %s" e)
   | Ok fresh ->
-      if not (graphs_drifted ~threshold:drift_threshold t.callgraph fresh) then Keep
+      let report = Drift.detect ~threshold:drift_threshold t.callgraph fresh in
+      if not (Drift.drifted report) then Keep report
       else begin
         match optimize ~graph:fresh cfg ~workflows wf with
-        | Ok t' -> Remerge t'
+        | Ok t' -> Remerge (t', report)
         | Error e -> Rollback_advised e
       end
 

@@ -58,10 +58,13 @@ val fresh_platform :
     workflows. *)
 
 type reconsideration =
-  | Keep  (** The profile is still representative; leave the merge alone. *)
-  | Remerge of t
+  | Keep of Quilt_dag.Drift.report
+      (** The profile is still representative; leave the merge alone.  The
+          (empty) report documents what was compared. *)
+  | Remerge of t * Quilt_dag.Drift.report
       (** The workload (or the functions' opt-in bits) changed enough that a
-          different grouping is better; deploy the returned plan. *)
+          different grouping is better; deploy the returned plan.  The report
+          names exactly which edges/vertices drifted and by how much. *)
   | Rollback_advised of string
       (** No feasible grouping exists any more — replace merged entries with
           the original functions (§8). *)
@@ -74,12 +77,19 @@ val reconsider :
   reconsideration
 (** Quilt "monitors its merged functions and reconsiders the merge if there
     are big workload changes, a function is updated, or its permission to be
-    merged is removed" (§1.1).  Re-profiles the workflow and compares the new
-    call graph against the one the plan was built from: topology changes,
-    per-edge α changes, resource drift beyond [drift_threshold] (relative,
-    default 0.3), or opt-in changes trigger a re-optimization.  The workflow
-    is looked up by name in [workflows], so an updated version of the
-    functions is picked up. *)
+    merged is removed" (§1.1).  Re-profiles the workflow and diffs the new
+    call graph against the one the plan was built from with
+    {!Quilt_dag.Drift.detect} — the same definition the online control plane
+    ({!Quilt_control}) uses: topology changes, per-edge call-rate and α
+    changes, resource drift beyond [drift_threshold] (relative, default
+    0.3), or opt-in changes trigger a re-optimization.  The workflow is
+    looked up by name in [workflows], so an updated version of the functions
+    is picked up. *)
+
+val with_optin : Quilt_apps.Workflow.t -> Quilt_dag.Callgraph.t -> Quilt_dag.Callgraph.t
+(** Attaches the developers' mergeable opt-in bits (which traces do not
+    carry) to a call graph built from a profiling window; functions unknown
+    to the workflow default to mergeable. *)
 
 val describe : t -> string
 (** Human-readable summary: groups, costs, sizes. *)

@@ -74,7 +74,14 @@ type t = {
   mutable next_cid : int;
   mutable next_tid : int;
   ctree_cache : (string * string, Calltree.node) Hashtbl.t;
+  (* In-process per-function monitor for merged/CM containers (§8's billing
+     instrumentation): cumulative modeled CPU / invocations / peak workspace
+     per (container, function). *)
+  monitors : (int * string, monitor_cell) Hashtbl.t;
+  mutable completion_hooks : (entry:string -> latency_us:float -> ok:bool -> unit) list;
 }
+
+and monitor_cell = { mutable m_cpu : float; mutable m_inv : int; mutable m_peak : float }
 
 (* Per-request context on the deployment that owns the root task. *)
 type tctx = {
@@ -103,7 +110,11 @@ let create ?(seed = 1) ?(params = Params.default) ~registry () =
     next_cid = 0;
     next_tid = 0;
     ctree_cache = Hashtbl.create 256;
+    monitors = Hashtbl.create 64;
+    completion_hooks = [];
   }
+
+let add_completion_hook sim h = sim.completion_hooks <- h :: sim.completion_hooks
 
 let params sim = sim.prm
 let now sim = sim.now_
@@ -354,6 +365,46 @@ let record_resources sim c ~fn =
       }
   end
 
+(* Merged and CM containers run several functions in one process, so the
+   container-level counters cannot attribute resources per function.  The
+   merged binary's §8 billing instrumentation stands in: on each member
+   execution we report the member's modeled demand (its own Compute/Mem
+   phases) as a cumulative per-(container, function) counter series, which
+   the Builder aggregates exactly like cAdvisor samples. *)
+let record_monitor sim c (node : Calltree.node) =
+  if sim.profiling && not c.dead then begin
+    let key = (c.cid, node.Calltree.fn) in
+    let cell =
+      match Hashtbl.find_opt sim.monitors key with
+      | Some cell -> cell
+      | None ->
+          let cell = { m_cpu = 0.0; m_inv = 0; m_peak = 0.0 } in
+          Hashtbl.replace sim.monitors key cell;
+          cell
+    in
+    let own_cpu, own_mem =
+      List.fold_left
+        (fun (cpu, mem) p ->
+          match p with
+          | Calltree.Compute us -> (cpu +. us, mem)
+          | Calltree.Mem mb -> (cpu, mem +. mb)
+          | _ -> (cpu, mem))
+        (0.0, 0.0) node.Calltree.phases
+    in
+    cell.m_cpu <- cell.m_cpu +. own_cpu;
+    cell.m_inv <- cell.m_inv + 1;
+    cell.m_peak <- Float.max cell.m_peak (1.0 +. own_mem);
+    Trace.record_resource sim.store
+      {
+        Trace.rs_ts = sim.now_;
+        container = c.cid;
+        fn = node.Calltree.fn;
+        cpu_us_cum = cell.m_cpu;
+        mem_mb = cell.m_peak;
+        invocations_cum = cell.m_inv;
+      }
+  end
+
 let rec exec_node sim dep c tctx (node : Calltree.node) (k_done : bool -> unit) =
   let held = ref 0.0 in
   let futures : (int, [ `Ready of bool | `Pending of (bool -> unit) option ref ]) Hashtbl.t =
@@ -399,16 +450,25 @@ let rec exec_node sim dep c tctx (node : Calltree.node) (k_done : bool -> unit) 
               match call_decision dep tctx ~caller:node.Calltree.fn ~callee:child.Calltree.fn, kind, future with
               | `Local, Trace.Sync, _ ->
                   sim.c_local <- sim.c_local + 1;
+                  record_span sim ~caller:(Some node.Calltree.fn) ~callee:child.Calltree.fn ~kind;
                   (* In-process call: sub-microsecond. *)
-                  exec_node sim dep c tctx child guarded_continue
+                  exec_node sim dep c tctx child (fun ok ->
+                      record_monitor sim c child;
+                      guarded_continue ok)
               | `Local, Trace.Async, Some fid ->
                   sim.c_local <- sim.c_local + 1;
+                  record_span sim ~caller:(Some node.Calltree.fn) ~callee:child.Calltree.fn ~kind;
                   Hashtbl.replace futures fid (`Pending (ref None));
-                  exec_node sim dep c tctx child (fun ok -> resolve_future fid ok);
+                  exec_node sim dep c tctx child (fun ok ->
+                      record_monitor sim c child;
+                      resolve_future fid ok);
                   continue ()
               | `Local, Trace.Async, None -> failwith "Engine: async call without future id"
-              | `Cm_local base, Trace.Sync, _ -> cm_exec sim dep c tctx child base guarded_continue
+              | `Cm_local base, Trace.Sync, _ ->
+                  record_span sim ~caller:(Some node.Calltree.fn) ~callee:child.Calltree.fn ~kind;
+                  cm_exec sim dep c tctx child base guarded_continue
               | `Cm_local base, Trace.Async, Some fid ->
+                  record_span sim ~caller:(Some node.Calltree.fn) ~callee:child.Calltree.fn ~kind;
                   Hashtbl.replace futures fid (`Pending (ref None));
                   cm_exec sim dep c tctx child base (fun ok -> resolve_future fid ok);
                   continue ()
@@ -439,6 +499,7 @@ and cm_exec sim dep c tctx child base_mem k =
           else if not (add_mem sim dep c base_mem) then ()
           else
             exec_node sim dep c tctx child (fun ok ->
+                record_monitor sim c child;
                 release_mem c base_mem;
                 k ok)))
 
@@ -490,7 +551,13 @@ and start_task sim dep c node k =
         c.n_tasks <- c.n_tasks - 1;
         if c.n_tasks = 0 then c.idle_since <- sim.now_;
         c.invocations <- c.invocations + 1;
-        record_resources sim c ~fn:dep.dspec.service
+        (match dep.dspec.mode with
+        | Plain -> record_resources sim c ~fn:dep.dspec.service
+        | Merged _ | Container_merge _ ->
+            (* Container-level samples would attribute every member's work to
+               the root service; the per-member monitor cells carry the
+               per-function split instead. *)
+            record_monitor sim c node)
       end;
       k ok;
       drain_queue sim dep
@@ -589,7 +656,9 @@ let submit sim ~entry ~req ~on_done =
           let back = Params.response_leg_us sim.prm ~payload:node.Calltree.res in
           schedule sim back (fun () ->
               if ok then sim.c_done <- sim.c_done + 1 else sim.c_fail <- sim.c_fail + 1;
-              on_done ~latency_us:(sim.now_ -. t0) ~ok)))
+              let latency_us = sim.now_ -. t0 in
+              List.iter (fun h -> h ~entry ~latency_us ~ok) sim.completion_hooks;
+              on_done ~latency_us ~ok)))
 
 let run_until sim t =
   let continue = ref true in

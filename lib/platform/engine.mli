@@ -73,7 +73,16 @@ val route : t -> fn:string -> deployment:string -> unit
     takes over its subgraph's entry, §5.5). *)
 
 val set_profiling : t -> bool -> unit
-(** The one-bit profiler-enabled token (§3). *)
+(** The one-bit profiler-enabled token (§3).  While enabled, the engine
+    also emits spans for member-internal (in-process and CM) calls and
+    per-member resource series from the merged binary's §8 billing
+    instrumentation, so windowed call graphs stay buildable after a
+    merge has hidden the member functions from the ingress. *)
+
+val add_completion_hook : t -> (entry:string -> latency_us:float -> ok:bool -> unit) -> unit
+(** Registers an observer fired on every client-visible completion (after
+    the response leg), in addition to the per-request [on_done].  The
+    online controller uses this as its latency/failure stream. *)
 
 val tracing : t -> Quilt_tracing.Trace.store
 

@@ -77,6 +77,84 @@ let run_closed_loop sim ~entry ~gen_req ~connections ~duration_us ?warmup_us ?(t
   Engine.run_until sim t_close;
   finish sim rec_ ~duration_us
 
+type phase = {
+  ph_name : string;
+  ph_duration_us : float;
+  ph_rate_rps : float;
+  ph_gen_req : Rng.t -> string;
+}
+
+type phased_result = { overall : result; per_phase : (string * result) list }
+
+let run_phased sim ~entry ~phases ?(on_sample = fun ~ts:_ ~latency_us:_ ~ok:_ ~phase:_ -> ()) () =
+  let recs = List.map (fun ph -> (ph, new_recorder ())) phases in
+  (* Phases run back to back with no warm-up gaps: the stream the online
+     controller observes is continuous, and the shift between phases is the
+     drift it must detect.  Requests are attributed to the phase that sent
+     them, even if they complete after the boundary. *)
+  let rec run_phase i = function
+    | [] -> ()
+    | (ph, rec_) :: rest ->
+        let rng = Rng.create (9001 + (2 * i)) in
+        let arrival_rng = Rng.create (9002 + (2 * i)) in
+        let t_close = Engine.now sim +. ph.ph_duration_us in
+        let mean_gap = 1e6 /. ph.ph_rate_rps in
+        let rec arrival () =
+          if Engine.now sim < t_close then begin
+            let req = ph.ph_gen_req rng in
+            rec_.sent <- rec_.sent + 1;
+            rec_.in_flight <- rec_.in_flight + 1;
+            Engine.submit sim ~entry ~req ~on_done:(fun ~latency_us ~ok ->
+                rec_.in_flight <- rec_.in_flight - 1;
+                on_sample ~ts:(Engine.now sim) ~latency_us ~ok ~phase:ph.ph_name;
+                if ok then begin
+                  rec_.succ <- rec_.succ + 1;
+                  if Engine.now sim <= t_close then rec_.succ_in_window <- rec_.succ_in_window + 1;
+                  Histogram.record rec_.hist latency_us
+                end
+                else rec_.fail <- rec_.fail + 1);
+            Engine.schedule sim (Rng.exponential arrival_rng mean_gap) arrival
+          end
+        in
+        arrival ();
+        Engine.run_until sim t_close;
+        run_phase (i + 1) rest
+  in
+  run_phase 0 recs;
+  (* Grace period for stragglers of the final phase. *)
+  Engine.run_until sim (Engine.now sim +. 30_000_000.0);
+  let counters = Engine.counters sim in
+  let result_of (ph, rec_) =
+    {
+      latencies = rec_.hist;
+      successes = rec_.succ;
+      failures = rec_.fail + rec_.in_flight;
+      offered = rec_.sent;
+      duration_us = ph.ph_duration_us;
+      throughput_rps = float_of_int rec_.succ_in_window /. (ph.ph_duration_us /. 1e6);
+      counters;
+    }
+  in
+  let per_phase = List.map (fun (ph, rec_) -> (ph.ph_name, result_of (ph, rec_))) recs in
+  let total_us = List.fold_left (fun a ph -> a +. ph.ph_duration_us) 0.0 phases in
+  let all = Histogram.create () in
+  List.iter (fun (_, r) -> Histogram.merge_into ~dst:all r.latencies) per_phase;
+  let sum f = List.fold_left (fun a (_, r) -> a + f r) 0 per_phase in
+  let overall =
+    {
+      latencies = all;
+      successes = sum (fun r -> r.successes);
+      failures = sum (fun r -> r.failures);
+      offered = sum (fun r -> r.offered);
+      duration_us = total_us;
+      throughput_rps =
+        List.fold_left (fun a (_, r) -> a +. (r.throughput_rps *. r.duration_us)) 0.0 per_phase
+        /. Float.max 1.0 total_us;
+      counters;
+    }
+  in
+  { overall; per_phase }
+
 let run_open_loop sim ~entry ~gen_req ~rate_rps ~duration_us ?warmup_us () =
   let warmup_us = match warmup_us with Some w -> w | None -> duration_us *. 0.1 in
   let rng = Rng.create 777 in

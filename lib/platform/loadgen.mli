@@ -45,3 +45,29 @@ val run_open_loop :
   result
 (** Poisson arrivals.  Requests still in flight when the window closes are
     given 30 virtual seconds to finish; unfinished ones count as failures. *)
+
+type phase = {
+  ph_name : string;
+  ph_duration_us : float;
+  ph_rate_rps : float;
+  ph_gen_req : Quilt_util.Rng.t -> string;  (** Per-phase request mix. *)
+}
+
+type phased_result = {
+  overall : result;  (** All phases merged. *)
+  per_phase : (string * result) list;  (** In phase order; requests belong to
+      the phase that {e sent} them.  [counters] are end-of-run cumulative. *)
+}
+
+val run_phased :
+  Engine.t ->
+  entry:string ->
+  phases:phase list ->
+  ?on_sample:(ts:float -> latency_us:float -> ok:bool -> phase:string -> unit) ->
+  unit ->
+  phased_result
+(** A time-varying open-loop workload: phases run back to back with no
+    warm-up gap, so the request-mix shift at each boundary is exactly the
+    drift an online controller should observe.  [on_sample] fires at every
+    completion (for latency timelines).  Stragglers of the last phase get a
+    30-virtual-second grace period. *)

@@ -38,6 +38,17 @@ let resource_samples st ~fn =
 
 let span_count st = st.n_spans
 
+let evict_before st t =
+  st.spans_rev <- List.filter (fun s -> s.ts >= t) st.spans_rev;
+  st.n_spans <- List.length st.spans_rev;
+  let empty = ref [] in
+  Hashtbl.iter
+    (fun fn l ->
+      l := List.filter (fun r -> r.rs_ts >= t) !l;
+      if !l = [] then empty := fn :: !empty)
+    st.resources;
+  List.iter (fun fn -> Hashtbl.remove st.resources fn) !empty
+
 let clear st =
   st.spans_rev <- [];
   st.n_spans <- 0;

@@ -47,4 +47,12 @@ val resource_samples : store -> fn:string -> resource_sample list
 
 val span_count : store -> int
 
+val evict_before : store -> float -> unit
+(** [evict_before st t] drops every span and resource sample older than
+    [t], so long-lived simulations (the online control plane's sliding
+    window) keep the store bounded.  Because resource samples carry
+    {e cumulative} per-container counters, a call graph built over
+    [\[t, now\]] after eviction equals the one built over the same window
+    from the full store. *)
+
 val clear : store -> unit

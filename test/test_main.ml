@@ -15,4 +15,5 @@ let () =
        Test_fuzz.suite;
        Test_engine.suite;
        Test_apps.suite;
+       Test_control.suite;
      ])

@@ -362,7 +362,8 @@ let test_reconsider_keeps_stable_workload () =
   let compose = List.find (fun w -> w.Workflow.wf_name = "compose-post") wfs in
   let t = solution_for compose in
   match Quilt.reconsider cfg ~workflows:[ compose ] t with
-  | Quilt.Keep -> ()
+  | Quilt.Keep report ->
+      Alcotest.(check string) "empty drift report" "no drift" (Quilt_dag.Drift.describe report)
   | Quilt.Remerge _ -> Alcotest.fail "stable workload should not trigger a re-merge"
   | Quilt.Rollback_advised e -> Alcotest.fail ("unexpected rollback: " ^ e)
 
@@ -381,13 +382,16 @@ let test_reconsider_detects_update () =
   in
   let updated = { compose with Workflow.functions } in
   match Quilt.reconsider cfg ~workflows:[ updated ] t with
-  | Quilt.Remerge t' ->
+  | Quilt.Remerge (t', report) ->
       List.iter
         (fun (d : Deploy.merged_deployment) ->
           Alcotest.(check bool) "new plan excludes text-service" false
             (List.mem "text-service" d.Deploy.members))
-        t'.Quilt.deployments
-  | Quilt.Keep -> Alcotest.fail "opt-in withdrawal must trigger re-merge"
+        t'.Quilt.deployments;
+      (* The diagnostics name the withdrawn function, not just "drifted". *)
+      Alcotest.(check bool) "opt-in flip attributed to text-service" true
+        (List.mem "text-service" report.Quilt_dag.Drift.optin_flips)
+  | Quilt.Keep _ -> Alcotest.fail "opt-in withdrawal must trigger re-merge"
   | Quilt.Rollback_advised e -> Alcotest.fail ("unexpected rollback: " ^ e)
 
 let suite =
