@@ -14,6 +14,7 @@ let experiments =
     ("table_e", Table_e.run, "binary sizes (Appendix E)");
     ("figA", Fig_a.run, "more subgraphs can cost less (Appendix A)");
     ("adaptive", Adaptive.run, "online control plane: drift, re-merge, canary (writes BENCH_adaptive.json)");
+    ("fault", Fault.run, "fault injection: availability/goodput under chaos (writes BENCH_fault.json)");
     ("micro", Micro.run, "bechamel micro-benchmarks of the core algorithms");
   ]
 
@@ -25,12 +26,31 @@ let usage () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args =
-    (* --smoke shrinks the adaptive scenarios without flipping the whole
-       harness into QUILT_BENCH_FAST mode. *)
+    (* --smoke shrinks the adaptive and fault scenarios without flipping
+       the whole harness into QUILT_BENCH_FAST mode. *)
     List.filter
-      (fun a -> if a = "--smoke" then (Adaptive.smoke_flag := true; false) else true)
+      (fun a ->
+        if a = "--smoke" then begin
+          Adaptive.smoke_flag := true;
+          Fault.smoke_flag := true;
+          false
+        end
+        else true)
       args
   in
+  (* --seed N: reproducible-but-different fault/chaos runs. *)
+  let rec strip_seed = function
+    | "--seed" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some s -> Fault.seed_ref := s
+        | None ->
+            Printf.eprintf "--seed expects an integer, got %S\n" n;
+            exit 1);
+        strip_seed rest
+    | a :: rest -> a :: strip_seed rest
+    | [] -> []
+  in
+  let args = strip_seed args in
   match args with
   | [ "--help" ] | [ "help" ] -> usage ()
   | [] ->

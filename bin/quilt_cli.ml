@@ -5,7 +5,9 @@
      quilt inspect compose-post      profile and print the call graph
      quilt decide compose-post       profile + run the decision algorithm
      quilt merge compose-post        run the full merge pipeline; --dump-ir
-     quilt bench compose-post        baseline-vs-quilt latency comparison *)
+     quilt bench compose-post        baseline-vs-quilt latency comparison
+     quilt adapt path-shift          online control plane on a drift scenario
+     quilt chaos crashstorm          fault injection across the three arms *)
 
 module Engine = Quilt_platform.Engine
 module Loadgen = Quilt_platform.Loadgen
@@ -83,10 +85,11 @@ let merge_cmd async dump_ir name =
     report.Pipeline.rounds;
   if dump_ir then print_string (Quilt_ir.Pp.to_string report.Pipeline.merged_module)
 
-let bench_cmd async rate duration name =
+let bench_cmd async rate duration seed name =
   let wf = find_workflow ~async name in
+  let cfg = { Config.default with Config.seed = Config.default.Config.seed + seed } in
   let t =
-    match Quilt.optimize Config.default ~workflows:[ wf ] wf with
+    match Quilt.optimize cfg ~workflows:[ wf ] wf with
     | Ok t -> t
     | Error e ->
         Printf.eprintf "optimize failed: %s\n" e;
@@ -96,11 +99,11 @@ let bench_cmd async rate duration name =
     Loadgen.run_open_loop engine ~entry:wf.Workflow.entry ~gen_req:wf.Workflow.gen_req ~rate_rps:rate
       ~duration_us:(duration *. 1e6)
       ~warmup_us:(Float.min (duration *. 1e6 /. 4.0) 10_000_000.0)
-      ()
+      ~seed ()
   in
-  let b_engine = Quilt.fresh_platform ~workflows:[ wf ] () in
+  let b_engine = Quilt.fresh_platform ~seed:(7 + seed) ~workflows:[ wf ] () in
   let b = measure b_engine in
-  let q_engine = Quilt.fresh_platform ~workflows:[ wf ] () in
+  let q_engine = Quilt.fresh_platform ~seed:(7 + seed) ~workflows:[ wf ] () in
   Quilt.apply q_engine t;
   let q = measure q_engine in
   Printf.printf "workflow %s at %.0f rps for %.0f s:\n" name rate duration;
@@ -109,9 +112,9 @@ let bench_cmd async rate duration name =
   Printf.printf "  quilt   : median %8.2f ms   p99 %8.2f ms   throughput %7.0f rps\n"
     (Loadgen.median_ms q) (Loadgen.p99_ms q) q.Loadgen.throughput_rps
 
-let adapt_cmd smoke no_controller scenario =
+let adapt_cmd smoke no_controller seed scenario =
   let run wc =
-    match Quilt_control.Scenario.run ~smoke ~with_controller:wc scenario with
+    match Quilt_control.Scenario.run ~smoke ~seed ~with_controller:wc scenario with
     | Ok o -> o
     | Error e ->
         Printf.eprintf "adapt failed: %s\n" e;
@@ -132,6 +135,28 @@ let adapt_cmd smoke no_controller scenario =
           (Loadgen.p99_ms a) (Loadgen.p99_ms s)
     | _ -> ()
   end
+
+let chaos_cmd smoke seed policy_name scenario =
+  let module Fs = Quilt_fault.Scenario in
+  let module Policy = Quilt_fault.Policy in
+  let policy, policy_name =
+    match policy_name with
+    | "none" -> (Policy.none, "none")
+    | "retry" -> (Policy.default_retry, "retry")
+    | "hedged" -> (Policy.hedged, "hedged")
+    | other ->
+        Printf.eprintf "unknown policy %s (none|retry|hedged)\n" other;
+        exit 1
+  in
+  let scenario_filter = if scenario = "all" then None else Some scenario in
+  match Fs.run_matrix ~smoke ~seed ~scenario_filter ~policy ~policy_name () with
+  | Error e ->
+      Printf.eprintf "chaos failed: %s\n" e;
+      exit 1
+  | Ok outcomes ->
+      Printf.printf "fault matrix (%s policy, seed %d%s):\n" policy_name seed
+        (if smoke then ", smoke" else "");
+      List.iter Fs.print_outcome outcomes
 
 (* --- cmdliner wiring --- *)
 
@@ -161,6 +186,12 @@ let merge_t =
     (Cmd.info "merge" ~doc:"Run the Figure-5 merge pipeline over a whole workflow (§5)")
     Term.(const merge_cmd $ async_flag $ dump $ workflow_arg)
 
+let seed_flag =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Perturb every RNG stream; the same seed reproduces the run exactly.")
+
 let bench_t =
   let rate = Arg.(value & opt float 50.0 & info [ "rate" ] ~docv:"RPS" ~doc:"Offered load.") in
   let duration =
@@ -168,7 +199,7 @@ let bench_t =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Compare baseline and Quilt deployments under load")
-    Term.(const bench_cmd $ async_flag $ rate $ duration $ workflow_arg)
+    Term.(const bench_cmd $ async_flag $ rate $ duration $ seed_flag $ workflow_arg)
 
 let adapt_t =
   let smoke = Arg.(value & flag & info [ "smoke" ] ~doc:"Shrink every phase to a few virtual seconds.") in
@@ -185,10 +216,32 @@ let adapt_t =
   in
   Cmd.v
     (Cmd.info "adapt" ~doc:"Run an adaptive scenario under the online control plane")
-    Term.(const adapt_cmd $ smoke $ no_controller $ scenario)
+    Term.(const adapt_cmd $ smoke $ no_controller $ seed_flag $ scenario)
+
+let chaos_t =
+  let smoke = Arg.(value & flag & info [ "smoke" ] ~doc:"Shrink each run to ~12 virtual seconds.") in
+  let policy =
+    Arg.(
+      value & opt string "retry"
+      & info [ "policy" ] ~docv:"POLICY" ~doc:"Gateway policy: none, retry, or hedged.")
+  in
+  let scenario =
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            (Printf.sprintf "One of: %s; or all."
+               (String.concat ", " Quilt_fault.Scenario.scenario_names)))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Inject deterministic faults and compare baseline/CM/quilt availability")
+    Term.(const chaos_cmd $ smoke $ seed_flag $ policy $ scenario)
 
 let () =
   let doc = "Quilt: resource-aware merging of serverless workflows (SOSP 2025), reproduced in OCaml" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "quilt" ~doc) [ list_t; inspect_t; decide_t; merge_t; bench_t; adapt_t ]))
+       (Cmd.group (Cmd.info "quilt" ~doc)
+          [ list_t; inspect_t; decide_t; merge_t; bench_t; adapt_t; chaos_t ]))

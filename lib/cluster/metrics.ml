@@ -7,6 +7,46 @@ let optimality_gap ~cost_h ~cost_o ~cost_b =
   let denom = cost_b - cost_o in
   if denom <= 0 then 0.0 else float_of_int (cost_h - cost_o) /. float_of_int denom
 
+(* ---- Blast-radius metrics (fault PR) ------------------------------- *)
+
+let fault_domain_sizes (sol : Types.solution) =
+  List.map
+    (fun sg -> Array.fold_left (fun a b -> if b then a + 1 else a) 0 sg.Types.members)
+    sol.Types.subgraphs
+
+(* Per-invocation work done inside vertex [i]: how often it runs per
+   workflow invocation (Σ incoming weights / N, 1 for the root) times its
+   CPU demand.  This is the work a crash of [i]'s container destroys and a
+   retry replays. *)
+let node_work (g : Callgraph.t) i =
+  let n_inv = float_of_int (max 1 g.Callgraph.invocations) in
+  let rate =
+    if i = g.Callgraph.root then 1.0
+    else
+      let w = Array.fold_left (fun a e -> a + e.Callgraph.weight) 0 (Callgraph.in_edges g i) in
+      float_of_int w /. n_inv
+  in
+  rate *. (Callgraph.node g i).Callgraph.cpu
+
+let expected_replay_work (g : Callgraph.t) (sol : Types.solution) =
+  (* A crash strikes a container with probability proportional to the work
+     it hosts (uniform hazard per vCPU·ms), and destroys all in-progress
+     work of its group — so the expectation is Σ_sg work(sg)² / Σ work.
+     Minimized by singletons, maximized by one giant merged chain: exactly
+     the blast-radius concentration penalty. *)
+  let work_of sg =
+    let acc = ref 0.0 in
+    Array.iteri (fun i b -> if b then acc := !acc +. node_work g i) sg.Types.members;
+    !acc
+  in
+  let works = List.map work_of sol.Types.subgraphs in
+  let total = List.fold_left ( +. ) 0.0 works in
+  if total <= 0.0 then 0.0
+  else List.fold_left (fun a w -> a +. (w *. w /. total)) 0.0 works
+
+let reliability_score ~lambda (g : Callgraph.t) (sol : Types.solution) =
+  float_of_int sol.Types.cost +. (lambda *. expected_replay_work g sol)
+
 let solution_valid (g : Callgraph.t) (lim : Types.limits) (sol : Types.solution) =
   let n = Callgraph.n_nodes g in
   let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in

@@ -12,6 +12,31 @@ val baseline_cost : Quilt_dag.Callgraph.t -> int
 val optimality_gap : cost_h:int -> cost_o:int -> cost_b:int -> float
 (** 0 when the denominator vanishes (no improvement was possible). *)
 
+(** {1 Blast-radius metrics}
+
+    Merging shrinks communication cost but enlarges the failure domain: one
+    container crash now destroys (and an at-least-once retry replays) every
+    member's in-progress work.  These metrics quantify that trade-off so
+    the decision layer can penalize outsized groupings
+    ({!Quilt_core.Config.t.reliability_lambda}). *)
+
+val fault_domain_sizes : Types.solution -> int list
+(** Member count of each subgraph, in solution order — how many functions
+    share each fault domain. *)
+
+val expected_replay_work : Quilt_dag.Callgraph.t -> Types.solution -> float
+(** Expected per-invocation work (vCPU·ms) destroyed by one container
+    crash, Σ_sg work(sg)² / Σ work with work_i = invocation rate × CPU.
+    Crashes are assumed to strike proportionally to hosted work, so the
+    quadratic numerator penalizes concentration: singletons minimize it,
+    one giant merged chain maximizes it. *)
+
+val reliability_score :
+  lambda:float -> Quilt_dag.Callgraph.t -> Types.solution -> float
+(** [cost + lambda × expected_replay_work] — the objective the
+    reliability-aware optimizer minimizes.  [lambda = 0] recovers the pure
+    communication cost. *)
+
 val solution_valid :
   Quilt_dag.Callgraph.t -> Types.limits -> Types.solution -> (unit, string) result
 (** Re-checks every published constraint on a solution: roots unique and

@@ -22,10 +22,10 @@ type outcome = {
   o_final_groups : string list list;
 }
 
-let names = [ "path-shift"; "steady"; "regress"; "late-regress" ]
+let names = [ "path-shift"; "steady"; "regress"; "late-regress"; "crashy" ]
 
 let post_shift_phase = function
-  | "path-shift" -> "b-late"
+  | "path-shift" | "crashy" -> "b-late"
   | "steady" -> "steady-2"
   | "regress" | "late-regress" -> "heavy"
   | _ -> ""
@@ -40,6 +40,9 @@ type spec = {
   sp_ctl_quilt_cfg : Config.t;
   sp_ctl_cfg : Controller.config;
   sp_phases : Loadgen.phase list;
+  sp_arm : Engine.t -> unit;
+      (* Fault hook, called once just before traffic starts (the "crashy"
+         scenario arms a crash storm here); [ignore] for the rest. *)
 }
 
 (* The routed workflow's merge decision is CPU-bound: with a 6.5 ms budget
@@ -69,31 +72,63 @@ let ctl_cfg ~smoke =
 let phase name dur rate gen =
   { Loadgen.ph_name = name; ph_duration_us = dur *. 1e6; ph_rate_rps = rate; ph_gen_req = gen }
 
+(* Shared by "path-shift" (no faults) and "crashy" (a late crash storm on
+   the re-merged entry). *)
+let routed_shift_spec ~smoke ~sp_arm =
+  let wf = Special.routed () in
+  let s d = if smoke then d /. 2.5 else d in
+  let rate = if smoke then 30.0 else 32.0 in
+  {
+    sp_workflow = wf;
+    sp_profile_gen = Special.routed_req ~b_share:0.1;
+    sp_offline_cfg = routed_cfg ~smoke;
+    sp_ctl_quilt_cfg = routed_cfg ~smoke;
+    sp_ctl_cfg = ctl_cfg ~smoke;
+    sp_phases =
+      [
+        (* b-shift is long enough (one window flush + two
+           trigger/canary rounds) that the controller converges on the
+           b-optimal grouping before the b-late measurement phase, and
+           b-late is a completed flip: with any minority share above
+           1% the p99 measures the cold path's idle-respecialization
+           penalty, not the merge decision under test. *)
+        phase "a-heavy" (s 25.0) rate (Special.routed_req ~b_share:0.1);
+        phase "b-shift" (s 35.0) rate (Special.routed_req ~b_share:0.9);
+        phase "b-late" (s 20.0) rate (Special.routed_req ~b_share:1.0);
+      ];
+    sp_arm;
+  }
+
 let spec_of ~smoke = function
-  | "path-shift" ->
-      let wf = Special.routed () in
+  | "path-shift" -> Ok (routed_shift_spec ~smoke ~sp_arm:ignore)
+  | "crashy" ->
+      (* Same drift script as path-shift, so the controller re-merges onto
+         chain B and the canary passes — leaving the displaced plan as the
+         standing watchdog's fallback.  Then the re-merged entry starts
+         crash-looping: the failure storm must trip a rollback (the
+         watchdog in the common timing; the canary if the storm lands
+         while one is still judging). *)
       let s d = if smoke then d /. 2.5 else d in
-      let rate = if smoke then 30.0 else 32.0 in
+      let total_us = s (25.0 +. 35.0 +. 20.0) *. 1e6 in
+      let plan =
+        Quilt_fault.Plan.make ~seed:1234
+          [
+            {
+              Quilt_fault.Plan.at_us = 0.8 *. total_us;
+              fault =
+                Quilt_fault.Plan.Crash_storm
+                  {
+                    fn = "route-split";
+                    every_us = 250_000.0;
+                    until_us = total_us +. 5_000_000.0;
+                    count = 4;
+                  };
+            };
+          ]
+      in
       Ok
-        {
-          sp_workflow = wf;
-          sp_profile_gen = Special.routed_req ~b_share:0.1;
-          sp_offline_cfg = routed_cfg ~smoke;
-          sp_ctl_quilt_cfg = routed_cfg ~smoke;
-          sp_ctl_cfg = ctl_cfg ~smoke;
-          sp_phases =
-            [
-              (* b-shift is long enough (one window flush + two
-                 trigger/canary rounds) that the controller converges on the
-                 b-optimal grouping before the b-late measurement phase, and
-                 b-late is a completed flip: with any minority share above
-                 1% the p99 measures the cold path's idle-respecialization
-                 penalty, not the merge decision under test. *)
-              phase "a-heavy" (s 25.0) rate (Special.routed_req ~b_share:0.1);
-              phase "b-shift" (s 35.0) rate (Special.routed_req ~b_share:0.9);
-              phase "b-late" (s 20.0) rate (Special.routed_req ~b_share:1.0);
-            ];
-        }
+        (routed_shift_spec ~smoke
+           ~sp_arm:(fun engine -> ignore (Quilt_fault.Plan.arm plan engine)))
   | "steady" ->
       let wf = Special.routed () in
       let s d = if smoke then d /. 2.5 else d in
@@ -110,6 +145,7 @@ let spec_of ~smoke = function
               phase "steady-1" (s 25.0) rate (Special.routed_req ~b_share:0.5);
               phase "steady-2" (s 25.0) rate (Special.routed_req ~b_share:0.5);
             ];
+          sp_arm = ignore;
         }
   | ("regress" | "late-regress") as which ->
       let wf = Special.fan_out ~callee_mem_mb:16 () in
@@ -145,6 +181,7 @@ let spec_of ~smoke = function
           sp_ctl_cfg = ctl_cfg ~smoke;
           sp_phases =
             [ phase "light" (s light_s) 20.0 small; phase "heavy" (s 40.0) 20.0 big ];
+          sp_arm = ignore;
         }
   | other -> Error (Printf.sprintf "unknown scenario %S (known: %s)" other (String.concat ", " names))
 
@@ -153,7 +190,7 @@ let groups_of (plan : Quilt.t) =
     (fun (d : Deploy.merged_deployment) -> List.sort compare d.Deploy.members)
     plan.Quilt.deployments
 
-let run ?(smoke = false) ~with_controller name =
+let run ?(smoke = false) ?(seed = 0) ~with_controller name =
   match spec_of ~smoke name with
   | Error e -> Error e
   | Ok sp -> (
@@ -163,7 +200,7 @@ let run ?(smoke = false) ~with_controller name =
       | Error e -> Error (Printf.sprintf "initial optimization failed: %s" e)
       | Ok plan ->
           let engine =
-            Quilt.fresh_platform ~seed:42 ~config:sp.sp_offline_cfg ~workflows:[ wf ] ()
+            Quilt.fresh_platform ~seed:(42 + seed) ~config:sp.sp_offline_cfg ~workflows:[ wf ] ()
           in
           Quilt.apply engine plan;
           (* Let the rolling deploys flip before traffic starts. *)
@@ -171,6 +208,7 @@ let run ?(smoke = false) ~with_controller name =
           (* Both arms pay the profiling overhead, so with/without compare
              controller behaviour, not instrumentation cost. *)
           Engine.set_profiling engine true;
+          sp.sp_arm engine;
           let total_us =
             List.fold_left (fun a p -> a +. p.Loadgen.ph_duration_us) 0.0 sp.sp_phases
           in
@@ -201,7 +239,8 @@ let run ?(smoke = false) ~with_controller name =
             if ok then Histogram.record hist latency_us else incr fails
           in
           let phased =
-            Loadgen.run_phased engine ~entry:wf.Workflow.entry ~phases:sp.sp_phases ~on_sample ()
+            Loadgen.run_phased engine ~entry:wf.Workflow.entry ~phases:sp.sp_phases ~on_sample
+              ~seed ()
           in
           let bucket_list =
             Hashtbl.fold (fun idx (h, n, f) acc -> (idx, h, !n, !f) :: acc) buckets []

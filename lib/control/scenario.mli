@@ -15,7 +15,11 @@
       with an {e adversarial} cost model (guards stripped, memory
       overhead under-estimated).  The triggered re-merge OOM-loops, the
       canary catches the failure spike, and the controller rolls back to
-      the previous plan and holds the bad grouping down. *)
+      the previous plan and holds the bad grouping down.
+    - ["crashy"]: path-shift's drift script plus a deterministic
+      {!Quilt_fault.Plan} crash storm on the re-merged entry late in the
+      run — the fault path to rollback: the failure storm must trip the
+      standing SLO watchdog (or the canary, if it lands mid-judgement). *)
 
 type bucket = { b_t_s : float; b_p50_ms : float; b_p99_ms : float; b_n : int; b_fails : int }
 (** One latency-timeline bucket ([b_t_s] is the bucket start, virtual
@@ -34,10 +38,13 @@ type outcome = {
 
 val names : string list
 
-val run : ?smoke:bool -> with_controller:bool -> string -> (outcome, string) result
+val run :
+  ?smoke:bool -> ?seed:int -> with_controller:bool -> string -> (outcome, string) result
 (** [smoke] shrinks every phase and the offline profile to a few virtual
-    seconds (single-digit wall seconds).  [Error] for unknown scenario
-    names or when the initial offline optimization fails. *)
+    seconds (single-digit wall seconds).  [seed] (default 0) perturbs the
+    engine and workload RNG streams for reproducible-but-different runs.
+    [Error] for unknown scenario names or when the initial offline
+    optimization fails. *)
 
 val post_shift_phase : string -> string
 (** [post_shift_phase scenario] names the phase used for the post-shift

@@ -11,6 +11,7 @@ type t = {
   profile_duration_us : float;
   profile_connections : int;
   seed : int;
+  reliability_lambda : float;
 }
 
 let default =
@@ -25,6 +26,7 @@ let default =
     profile_duration_us = 30_000_000.0;
     profile_connections = 4;
     seed = 1;
+    reliability_lambda = 0.0;
   }
 
 let limits cfg =

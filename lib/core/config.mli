@@ -22,6 +22,14 @@ type t = {
   profile_duration_us : float;  (** Length of the profiling window. *)
   profile_connections : int;  (** Closed-loop load used while profiling. *)
   seed : int;
+  reliability_lambda : float;
+      (** Weight of the blast-radius penalty
+          ({!Quilt_cluster.Metrics.expected_replay_work}) in the merge
+          decision.  0 (the default) keeps the paper's pure
+          communication-cost objective; > 0 makes the optimizer compare
+          candidate groupings — including the unmerged baseline — by
+          [cost + λ × expected replay work], trading some cut-cost savings
+          for smaller fault domains. *)
 }
 
 val default : t

@@ -47,6 +47,66 @@ let profile (cfg : Config.t) ~workflows (wf : Workflow.t) =
       let g = Builder.known_calls ~code_edges:wf.Workflow.code_edges g in
       Ok (with_optin wf g)
 
+(* The unmerged deployment as an explicit candidate: every vertex its own
+   (singleton) fault domain, cost = Σ edge weights.  With a reliability
+   penalty in play the optimizer must be allowed to conclude that not
+   merging at all is the best trade. *)
+let singleton_solution (g : Callgraph.t) =
+  let n = Callgraph.n_nodes g in
+  let roots =
+    g.Callgraph.root
+    :: List.filter (fun i -> i <> g.Callgraph.root) (List.init n (fun i -> i))
+  in
+  let subgraphs =
+    List.map
+      (fun r ->
+        let members = Array.make n false in
+        members.(r) <- true;
+        let cpu, mem_mb = Quilt_cluster.Closure.resources g ~members ~root:r in
+        { Types.root = r; absorbed = [ r ]; members; cpu; mem_mb })
+      roots
+  in
+  {
+    Types.roots;
+    subgraphs;
+    cost = Quilt_cluster.Metrics.baseline_cost g;
+  }
+
+(* Reliability-aware selection (λ > 0): gather groupings from several
+   algorithms plus the singleton baseline and take the argmin of
+   [cost + λ × expected replay work] instead of trusting one solver's
+   cost-only answer. *)
+let solve_with_penalty (cfg : Config.t) callgraph limits =
+  let lambda = cfg.Config.reliability_lambda in
+  let primary =
+    match cfg.Config.algorithm with
+    | Some algorithm -> Decision.solve ~seed:cfg.Config.seed algorithm callgraph limits
+    | None -> Decision.auto ~seed:cfg.Config.seed callgraph limits
+  in
+  if lambda <= 0.0 then primary
+  else begin
+    let extra =
+      List.filter_map
+        (fun alg -> Decision.solve ~seed:cfg.Config.seed alg callgraph limits)
+        [ Decision.Weighted_degree; Decision.Dih ]
+    in
+    let baseline =
+      let s = singleton_solution callgraph in
+      match Quilt_cluster.Metrics.solution_valid callgraph limits s with
+      | Ok () -> [ s ]
+      | Error _ -> []
+    in
+    let candidates = Option.to_list primary @ extra @ baseline in
+    let score = Quilt_cluster.Metrics.reliability_score ~lambda callgraph in
+    match candidates with
+    | [] -> None
+    | first :: rest ->
+        Some
+          (List.fold_left
+             (fun best s -> if score s < score best then s else best)
+             first rest)
+  end
+
 let optimize ?graph (cfg : Config.t) ~workflows (wf : Workflow.t) =
   let graph_result =
     match graph with Some g -> Ok g | None -> profile cfg ~workflows wf
@@ -55,11 +115,7 @@ let optimize ?graph (cfg : Config.t) ~workflows (wf : Workflow.t) =
   | Error e -> Error (Printf.sprintf "profiling failed: %s" e)
   | Ok callgraph -> (
       let limits = Config.limits cfg in
-      let solution =
-        match cfg.Config.algorithm with
-        | Some algorithm -> Decision.solve ~seed:cfg.Config.seed algorithm callgraph limits
-        | None -> Decision.auto ~seed:cfg.Config.seed callgraph limits
-      in
+      let solution = solve_with_penalty cfg callgraph limits in
       match solution with
       | None -> Error "no feasible grouping under the resource constraints"
       | Some solution ->

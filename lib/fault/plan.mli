@@ -1,0 +1,62 @@
+(** Deterministic fault plans.
+
+    A plan is a seeded script of faults at relative times, armed against a
+    live engine.  Every random choice (storm victims, per-hop jitter, drop
+    coin flips) draws from the plan's own splitmix64 stream — never from
+    the engine's — so the pair (plan, engine seed, workload seed) fully
+    determines the simulation: the same plan armed twice produces an
+    identical event trace and identical end-of-run statistics.  That
+    property is what makes chaos runs regression-testable. *)
+
+type fault =
+  | Kill of { fn : string; count : int }
+      (** Crash-kill up to [count] random live containers of the deployment
+          [fn] routes to. *)
+  | Kill_all of { fn : string }  (** Crash-kill every live container. *)
+  | Crash_storm of { fn : string; every_us : float; until_us : float; count : int }
+      (** Repeated {!Kill} every [every_us] until [until_us] (relative to
+          arm time) — a crash-looping deployment. *)
+  | Mem_spike of { fn : string; mb : float; duration_us : float }
+      (** Transient memory pressure on every ready container; containers
+          pushed past their limit OOM-kill, survivors recover after
+          [duration_us]. *)
+  | Net_delay of {
+      src : string;  (** Caller pattern; ["*"] any, ["client"] the ingress. *)
+      dst : string;  (** Callee pattern; ["*"] matches any. *)
+      delay_us : float;
+      jitter_us : float;  (** Uniform ±jitter added per matching hop. *)
+      duration_us : float;
+    }
+  | Net_drop of { src : string; dst : string; p : float; duration_us : float }
+      (** Each matching hop is lost with probability [p].  A dropped
+          internal hop fails the caller once the router's hop timeout
+          fires (and hangs for good without one); a dropped ingress hop
+          fails the client request. *)
+  | Cpu_degrade of { fn : string; factor : float; duration_us : float }
+      (** Noisy neighbour: the matching deployments run at [factor] of
+          their CPU rate (clamped to (0,1]).  Overlapping degradations
+          compose multiplicatively. *)
+  | Image_cache_flush of { pull_factor : float; duration_us : float }
+      (** Cold-start storm fuel: every image pull costs [pull_factor]× until
+          the cache warms again. *)
+
+type event = { at_us : float;  (** Relative to arm time. *) fault : fault }
+
+type t = { seed : int; events : event list }
+
+val make : seed:int -> event list -> t
+
+val fault_name : fault -> string
+
+type armed
+(** A plan installed against one engine: holds the fault RNG, the active
+    network rules, and the human-readable activation trace. *)
+
+val arm : t -> Quilt_platform.Engine.t -> armed
+(** Installs the hook points and schedules every event relative to now.
+    Network rules are composed into a single engine hook (delays add, any
+    drop wins); CPU degradations compose multiplicatively per function. *)
+
+val trace : armed -> (float * string) list
+(** Chronological (absolute µs, description) log of every fault activation
+    and recovery — the determinism witness: equal seeds ⇒ equal traces. *)

@@ -53,7 +53,13 @@ type counters = {
   failed : int;
   remote_invocations : int;
   local_invocations : int;
+  crash_kills : int;
+  net_drops : int;
+  hop_timeouts : int;
 }
+
+(* Verdict of the (optional) network-fault hook for one remote hop. *)
+type net_verdict = Net_ok | Net_delay of float | Net_drop
 
 type t = {
   rng : Rng.t;
@@ -79,6 +85,14 @@ type t = {
      per (container, function). *)
   monitors : (int * string, monitor_cell) Hashtbl.t;
   mutable completion_hooks : (entry:string -> latency_us:float -> ok:bool -> unit) list;
+  (* --- fault-injection hook points (driven by quilt_fault) --- *)
+  mutable net_fault : (caller:string option -> callee:string -> net_verdict) option;
+  mutable cpu_fault : (string -> float) option;  (* service -> rate factor in (0,1] *)
+  mutable cold_pull_factor : float;  (* image-cache flush: >1 slows pulls *)
+  mutable hop_timeout_us : float option;  (* per-hop router timeout *)
+  mutable c_crash : int;
+  mutable c_net_drop : int;
+  mutable c_hop_timeout : int;
 }
 
 and monitor_cell = { mutable m_cpu : float; mutable m_inv : int; mutable m_peak : float }
@@ -112,6 +126,13 @@ let create ?(seed = 1) ?(params = Params.default) ~registry () =
     ctree_cache = Hashtbl.create 256;
     monitors = Hashtbl.create 64;
     completion_hooks = [];
+    net_fault = None;
+    cpu_fault = None;
+    cold_pull_factor = 1.0;
+    hop_timeout_us = None;
+    c_crash = 0;
+    c_net_drop = 0;
+    c_hop_timeout = 0;
   }
 
 let add_completion_hook sim h = sim.completion_hooks <- h :: sim.completion_hooks
@@ -150,23 +171,31 @@ let drain_hook : (t -> container -> unit) ref = ref (fun _ _ -> ())
 
 (* Per-segment progress rate under processor sharing.  Long compute bursts
    additionally lose efficiency when the container's demand exceeds its
-   quota — CFS throttling (the Experiment 3 phenomenon). *)
-let seg_rate prm c n (s : seg) =
+   quota — CFS throttling (the Experiment 3 phenomenon).  An injected CPU
+   fault (noisy neighbour / thermal degradation) scales the whole container
+   down by a service-specific factor. *)
+let seg_rate sim c n (s : seg) =
+  let prm = sim.prm in
   let nf = float_of_int n in
   let base = Float.min 1.0 (c.cspec.vcpus /. nf) in
   (* Mild over-subscription fits within the CFS period; sustained demand
      well past the quota stalls and loses efficiency. *)
-  if s.big && nf > c.cspec.vcpus +. 1.5 then base *. prm.Params.cfs_throttle_efficiency
-  else base
+  let base =
+    if s.big && nf > c.cspec.vcpus +. 1.5 then base *. prm.Params.cfs_throttle_efficiency
+    else base
+  in
+  match sim.cpu_fault with
+  | None -> base
+  | Some f -> base *. Float.max 1e-3 (Float.min 1.0 (f c.cspec.service))
 
-let settle prm c nowt =
+let settle sim c nowt =
   let n = List.length c.compute in
   if n > 0 then begin
     let dt = nowt -. c.last_update in
     if dt > 0.0 then
       List.iter
         (fun s ->
-          let rate = seg_rate prm c n s in
+          let rate = seg_rate sim c n s in
           s.remaining <- s.remaining -. (dt *. rate);
           c.cpu_used_us <- c.cpu_used_us +. (dt *. rate))
         c.compute
@@ -181,14 +210,14 @@ let rec reschedule_cpu sim c =
       let n = List.length segs in
       let dt =
         List.fold_left
-          (fun acc s -> Float.min acc (s.remaining /. seg_rate sim.prm c n s))
+          (fun acc s -> Float.min acc (s.remaining /. seg_rate sim c n s))
           infinity segs
       in
       let dt = Float.max 0.0 dt in
       let ep = c.epoch in
       schedule sim dt (fun () ->
           if (not c.dead) && c.epoch = ep then begin
-            settle sim.prm c sim.now_;
+            settle sim c sim.now_;
             let finished, running = List.partition (fun s -> s.remaining <= 1e-6) c.compute in
             c.compute <- running;
             reschedule_cpu sim c;
@@ -200,7 +229,7 @@ let add_compute sim c us k =
   if c.dead then ()
   else if us <= 0.01 then k ()
   else begin
-    settle sim.prm c sim.now_;
+    settle sim c sim.now_;
     c.compute <- { remaining = us; big = us >= sim.prm.Params.cfs_big_seg_us; on_finish = k } :: c.compute;
     reschedule_cpu sim c
   end
@@ -209,16 +238,23 @@ let add_compute sim c us k =
 
 let remove_container dep c = dep.pool <- List.filter (fun c' -> c'.cid <> c.cid) dep.pool
 
-let oom_kill sim dep c =
-  settle sim.prm c sim.now_;
+(* Tear a container down and fail its in-flight requests.  Shared by the
+   OOM path and the fault injector's crash kills; only the counter differs.
+   Each fail hook fires exactly once: hooks are drained before firing, and
+   start_task's [done_once] guard makes double completion impossible. *)
+let kill_impl sim dep c =
+  settle sim c sim.now_;
   c.dead <- true;
   c.epoch <- c.epoch + 1;
   c.compute <- [];
   remove_container dep c;
-  sim.c_oom <- sim.c_oom + 1;
   let hooks = Hashtbl.fold (fun _ h acc -> h :: acc) c.fail_hooks [] in
   Hashtbl.reset c.fail_hooks;
   List.iter (fun h -> h ()) hooks
+
+let oom_kill sim dep c =
+  sim.c_oom <- sim.c_oom + 1;
+  kill_impl sim dep c
 
 (* Returns false when the allocation killed the container. *)
 let add_mem sim dep c mb =
@@ -261,7 +297,7 @@ let cold_start sim dep =
   dep.pool <- c :: dep.pool;
   if List.length dep.pool > dep.peak then dep.peak <- List.length dep.pool;
   let duration =
-    (spec.image_mb *. sim.prm.Params.cold_start_pull_us_per_mb)
+    (spec.image_mb *. sim.prm.Params.cold_start_pull_us_per_mb *. sim.cold_pull_factor)
     +. sim.prm.Params.cold_start_boot_us
     +. (if spec.eager_http then sim.prm.Params.http_stack_load_us else 0.0)
   in
@@ -340,7 +376,7 @@ let record_span sim ~caller ~callee ~kind =
 
 let record_resources sim c ~fn =
   if sim.profiling then begin
-    settle sim.prm c sim.now_;
+    settle sim c sim.now_;
     (* Peak memory per function INSTANCE, not per container: concurrent
        requests inflate the container's resident set, but the decision
        algorithm's α-scaling already accounts for concurrency (§4.1), so
@@ -507,10 +543,41 @@ and remote_invoke sim ~caller ~kind (child : Calltree.node) k =
   sim.c_remote <- sim.c_remote + 1;
   record_span sim ~caller ~callee:child.Calltree.fn ~kind;
   let leg = Params.remote_leg_us sim.prm ~profiled:sim.profiling ~payload:child.Calltree.req in
-  schedule sim leg (fun () ->
-      dispatch sim child (fun ok ->
-          let back = Params.response_leg_us sim.prm ~payload:child.Calltree.res in
-          schedule sim back (fun () -> k ok)))
+  (* One hop = request leg, callee execution, response leg.  The router's
+     per-hop timeout (when armed) fails the caller after [hop_timeout_us]
+     even though the callee may keep executing — that orphaned execution is
+     exactly the wasted work a retry then replays. *)
+  let settled = ref false in
+  let finish ok =
+    if not !settled then begin
+      settled := true;
+      k ok
+    end
+  in
+  (match sim.hop_timeout_us with
+  | Some t ->
+      schedule sim t (fun () ->
+          if not !settled then begin
+            sim.c_hop_timeout <- sim.c_hop_timeout + 1;
+            finish false
+          end)
+  | None -> ());
+  let verdict =
+    match sim.net_fault with
+    | None -> Net_ok
+    | Some f -> f ~caller ~callee:child.Calltree.fn
+  in
+  match verdict with
+  | Net_drop ->
+      (* The request vanishes on the wire.  With a hop timeout the caller
+         recovers after [t]; without one the call is lost for good. *)
+      sim.c_net_drop <- sim.c_net_drop + 1
+  | Net_ok | Net_delay _ ->
+      let extra = match verdict with Net_delay d -> Float.max 0.0 d | _ -> 0.0 in
+      schedule sim (leg +. extra) (fun () ->
+          dispatch sim child (fun ok ->
+              let back = Params.response_leg_us sim.prm ~payload:child.Calltree.res in
+              schedule sim back (fun () -> finish ok)))
 
 and dispatch sim (node : Calltree.node) k =
   let dep = deployment_for sim node.Calltree.fn in
@@ -650,15 +717,30 @@ let submit sim ~entry ~req ~on_done =
   let t0 = sim.now_ in
   let node = calltree sim ~entry ~req in
   record_span sim ~caller:None ~callee:entry ~kind:Trace.Sync;
+  let complete ok =
+    if ok then sim.c_done <- sim.c_done + 1 else sim.c_fail <- sim.c_fail + 1;
+    let latency_us = sim.now_ -. t0 in
+    List.iter (fun h -> h ~entry ~latency_us ~ok) sim.completion_hooks;
+    on_done ~latency_us ~ok
+  in
   let leg = Params.remote_leg_us sim.prm ~profiled:sim.profiling ~payload:req in
-  schedule sim leg (fun () ->
-      dispatch sim node (fun ok ->
-          let back = Params.response_leg_us sim.prm ~payload:node.Calltree.res in
-          schedule sim back (fun () ->
-              if ok then sim.c_done <- sim.c_done + 1 else sim.c_fail <- sim.c_fail + 1;
-              let latency_us = sim.now_ -. t0 in
-              List.iter (fun h -> h ~entry ~latency_us ~ok) sim.completion_hooks;
-              on_done ~latency_us ~ok)))
+  let verdict =
+    match sim.net_fault with None -> Net_ok | Some f -> f ~caller:None ~callee:entry
+  in
+  match verdict with
+  | Net_drop ->
+      (* The client observes a connection timeout: the request never reaches
+         the gateway, and [on_done] stays total so the load generators'
+         accounting holds. *)
+      sim.c_net_drop <- sim.c_net_drop + 1;
+      let wait = match sim.hop_timeout_us with Some t -> t | None -> 0.0 in
+      schedule sim wait (fun () -> complete false)
+  | Net_ok | Net_delay _ ->
+      let extra = match verdict with Net_delay d -> Float.max 0.0 d | _ -> 0.0 in
+      schedule sim (leg +. extra) (fun () ->
+          dispatch sim node (fun ok ->
+              let back = Params.response_leg_us sim.prm ~payload:node.Calltree.res in
+              schedule sim back (fun () -> complete ok)))
 
 let run_until sim t =
   let continue = ref true in
@@ -693,7 +775,70 @@ let counters sim =
     failed = sim.c_fail;
     remote_invocations = sim.c_remote;
     local_invocations = sim.c_local;
+    crash_kills = sim.c_crash;
+    net_drops = sim.c_net_drop;
+    hop_timeouts = sim.c_hop_timeout;
   }
+
+(* --- Fault-injection hook points --- *)
+
+let set_network_fault sim f = sim.net_fault <- f
+
+let set_hop_timeout sim t = sim.hop_timeout_us <- t
+
+let set_cold_pull_factor sim x = sim.cold_pull_factor <- Float.max 1e-3 x
+
+let iter_all_containers sim f =
+  Hashtbl.iter (fun _ dep -> List.iter (fun c -> if not c.dead then f dep c) dep.pool) sim.deployments
+
+(* Changing the CPU-degradation factor mid-flight must not mis-account
+   running segments: settle everything at the old rate first, then install
+   the new factor and reschedule (the epoch bump invalidates stale events). *)
+let set_cpu_fault sim f =
+  iter_all_containers sim (fun _ c -> settle sim c sim.now_);
+  sim.cpu_fault <- f;
+  iter_all_containers sim (fun _ c -> reschedule_cpu sim c)
+
+let container_ids sim ~fn =
+  match Hashtbl.find_opt sim.deployments (match Hashtbl.find_opt sim.routes fn with Some d -> d | None -> fn) with
+  | None -> []
+  | Some dep -> List.sort compare (List.filter_map (fun c -> if c.dead then None else Some c.cid) dep.pool)
+
+let kill_container sim ~fn ~cid =
+  match Hashtbl.find_opt sim.deployments (match Hashtbl.find_opt sim.routes fn with Some d -> d | None -> fn) with
+  | None -> false
+  | Some dep -> (
+      match List.find_opt (fun c -> c.cid = cid && not c.dead) dep.pool with
+      | None -> false
+      | Some c ->
+          sim.c_crash <- sim.c_crash + 1;
+          kill_impl sim dep c;
+          (* Unlike OOM (whose fail hooks re-enter the drain), a crash can
+             hit an idle container with queued work behind it; make sure the
+             queue re-evaluates (and cold-starts a replacement if needed). *)
+          drain_queue sim dep;
+          true)
+
+let kill_all_containers sim ~fn =
+  List.fold_left (fun n cid -> if kill_container sim ~fn ~cid then n + 1 else n) 0 (container_ids sim ~fn)
+
+(* A memory-pressure spike: every live, ready container of the routed
+   deployment transiently holds [mb] more resident memory.  Containers the
+   spike pushes past their limit OOM; survivors release it after
+   [duration_us].  Returns (spiked, oom_killed). *)
+let mem_spike sim ~fn ~mb ~duration_us =
+  match Hashtbl.find_opt sim.deployments (match Hashtbl.find_opt sim.routes fn with Some d -> d | None -> fn) with
+  | None -> (0, 0)
+  | Some dep ->
+      let victims = List.filter (fun c -> (not c.dead) && c.ready) dep.pool in
+      let oomed = ref 0 in
+      List.iter
+        (fun c ->
+          if add_mem sim dep c mb then
+            schedule sim duration_us (fun () -> release_mem c mb)
+          else incr oomed)
+        victims;
+      (List.length victims, !oomed)
 
 let pool_size sim dname =
   match Hashtbl.find_opt sim.deployments dname with

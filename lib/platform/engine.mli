@@ -109,9 +109,63 @@ type counters = {
   failed : int;
   remote_invocations : int;
   local_invocations : int;
+  crash_kills : int;  (** Containers torn down by {!kill_container}. *)
+  net_drops : int;  (** Remote hops dropped by the network fault. *)
+  hop_timeouts : int;  (** Remote hops failed by the router's timeout. *)
 }
 
 val counters : t -> counters
+
+(** {1 Fault-injection hook points}
+
+    The deterministic fault injector ([Quilt_fault.Plan]) drives these.
+    All of them default to "no fault"; none of them draws from the
+    engine's own RNG, so the injector's seed fully determines behaviour. *)
+
+type net_verdict =
+  | Net_ok
+  | Net_delay of float  (** Extra one-way latency (µs) on the request leg. *)
+  | Net_drop  (** The request leg is lost. *)
+
+val set_network_fault :
+  t -> (caller:string option -> callee:string -> net_verdict) option -> unit
+(** Consulted on every remote hop (including the client→gateway ingress,
+    where [caller] is [None]).  A dropped internal hop fails the caller
+    after the hop timeout when one is armed, and is lost for good
+    otherwise; a dropped ingress hop fails the client request so load
+    generators keep total accounting. *)
+
+val set_hop_timeout : t -> float option -> unit
+(** Router-level per-hop timeout: a remote invocation that has not
+    completed within the budget fails at the caller, while the callee's
+    orphaned execution keeps burning resources (the wasted work a retry
+    then replays). *)
+
+val set_cpu_fault : t -> (string -> float) option -> unit
+(** Per-service CPU degradation factor in (0,1] (noisy neighbour, thermal
+    throttling).  In-flight segments are settled at the old rate before
+    the new factor takes effect. *)
+
+val set_cold_pull_factor : t -> float -> unit
+(** Image-cache flush: multiplies the image-pull component of every cold
+    start ([1.0] = healthy cache). *)
+
+val container_ids : t -> fn:string -> int list
+(** Live container ids of the deployment [fn] routes to, sorted. *)
+
+val kill_container : t -> fn:string -> cid:int -> bool
+(** Crash-kills one container: in-flight requests fail (exactly once, like
+    the OOM path), the pool shrinks, queued work re-evaluates (cold-starting
+    a replacement if needed).  False if the container is unknown or dead. *)
+
+val kill_all_containers : t -> fn:string -> int
+(** Kills every live container of the routed deployment; returns how many. *)
+
+val mem_spike : t -> fn:string -> mb:float -> duration_us:float -> int * int
+(** Transient memory pressure on every live, ready container of the routed
+    deployment.  Containers pushed past their limit OOM-kill; survivors
+    release the pressure after [duration_us].  Returns
+    [(containers_spiked, oom_killed)]. *)
 
 val pool_size : t -> string -> int
 (** Live containers of a deployment. *)

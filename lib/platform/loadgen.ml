@@ -15,6 +15,14 @@ let median_ms r = Histogram.median r.latencies /. 1000.0
 let p99_ms r = Histogram.quantile r.latencies 0.99 /. 1000.0
 let mean_ms r = Histogram.mean r.latencies /. 1000.0
 
+let availability r =
+  if r.offered = 0 then 1.0 else float_of_int r.successes /. float_of_int r.offered
+
+(* Goodput: successful completions per second — [throughput_rps] under a
+   clearer name for the fault benchmarks, where offered and completed
+   diverge. *)
+let goodput_rps r = r.throughput_rps
+
 type recorder = {
   hist : Histogram.t;
   mutable succ : int;
@@ -43,9 +51,10 @@ let finish sim rec_ ~duration_us =
     counters = Engine.counters sim;
   }
 
-let run_closed_loop sim ~entry ~gen_req ~connections ~duration_us ?warmup_us ?(think_us = 0.0) () =
+let run_closed_loop sim ~entry ~gen_req ~connections ~duration_us ?warmup_us ?(think_us = 0.0)
+    ?(seed = 0) () =
   let warmup_us = match warmup_us with Some w -> w | None -> duration_us *. 0.1 in
-  let rng = Rng.create 4242 in
+  let rng = Rng.create (4242 + seed) in
   let rec_ = new_recorder () in
   let t_start = Engine.now sim in
   let t_open = t_start +. warmup_us in
@@ -86,7 +95,8 @@ type phase = {
 
 type phased_result = { overall : result; per_phase : (string * result) list }
 
-let run_phased sim ~entry ~phases ?(on_sample = fun ~ts:_ ~latency_us:_ ~ok:_ ~phase:_ -> ()) () =
+let run_phased sim ~entry ~phases ?(on_sample = fun ~ts:_ ~latency_us:_ ~ok:_ ~phase:_ -> ())
+    ?(seed = 0) () =
   let recs = List.map (fun ph -> (ph, new_recorder ())) phases in
   (* Phases run back to back with no warm-up gaps: the stream the online
      controller observes is continuous, and the shift between phases is the
@@ -95,8 +105,8 @@ let run_phased sim ~entry ~phases ?(on_sample = fun ~ts:_ ~latency_us:_ ~ok:_ ~p
   let rec run_phase i = function
     | [] -> ()
     | (ph, rec_) :: rest ->
-        let rng = Rng.create (9001 + (2 * i)) in
-        let arrival_rng = Rng.create (9002 + (2 * i)) in
+        let rng = Rng.create (9001 + (2 * i) + seed) in
+        let arrival_rng = Rng.create (9002 + (2 * i) + seed) in
         let t_close = Engine.now sim +. ph.ph_duration_us in
         let mean_gap = 1e6 /. ph.ph_rate_rps in
         let rec arrival () =
@@ -155,10 +165,15 @@ let run_phased sim ~entry ~phases ?(on_sample = fun ~ts:_ ~latency_us:_ ~ok:_ ~p
   in
   { overall; per_phase }
 
-let run_open_loop sim ~entry ~gen_req ~rate_rps ~duration_us ?warmup_us () =
+let run_open_loop sim ~entry ~gen_req ~rate_rps ~duration_us ?warmup_us ?(seed = 0) ?via () =
   let warmup_us = match warmup_us with Some w -> w | None -> duration_us *. 0.1 in
-  let rng = Rng.create 777 in
-  let arrival_rng = Rng.create 778 in
+  let submit =
+    match via with
+    | Some f -> f
+    | None -> fun ~entry ~req ~on_done -> Engine.submit sim ~entry ~req ~on_done
+  in
+  let rng = Rng.create (777 + seed) in
+  let arrival_rng = Rng.create (778 + seed) in
   let rec_ = new_recorder () in
   let t_start = Engine.now sim in
   let t_open = t_start +. warmup_us in
@@ -172,7 +187,7 @@ let run_open_loop sim ~entry ~gen_req ~rate_rps ~duration_us ?warmup_us () =
         rec_.sent <- rec_.sent + 1;
         rec_.in_flight <- rec_.in_flight + 1
       end;
-      Engine.submit sim ~entry ~req ~on_done:(fun ~latency_us ~ok ->
+      submit ~entry ~req ~on_done:(fun ~latency_us ~ok ->
           if in_window then begin
             rec_.in_flight <- rec_.in_flight - 1;
             if ok then begin

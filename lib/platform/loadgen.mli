@@ -21,6 +21,13 @@ val median_ms : result -> float
 val p99_ms : result -> float
 val mean_ms : result -> float
 
+val availability : result -> float
+(** Fraction of offered requests that succeeded (1.0 when none offered). *)
+
+val goodput_rps : result -> float
+(** Successful completions per second — [throughput_rps] under the name the
+    fault benchmarks use, where offered and completed diverge. *)
+
 val run_closed_loop :
   Engine.t ->
   entry:string ->
@@ -29,10 +36,13 @@ val run_closed_loop :
   duration_us:float ->
   ?warmup_us:float ->
   ?think_us:float ->
+  ?seed:int ->
   unit ->
   result
 (** [warmup_us] defaults to 10% of the duration; [think_us] (delay between
-    a response and the connection's next request) defaults to 0. *)
+    a response and the connection's next request) defaults to 0.  [seed]
+    (default 0) perturbs the generator's RNG streams; 0 reproduces the
+    historical fixed seeds exactly. *)
 
 val run_open_loop :
   Engine.t ->
@@ -41,10 +51,20 @@ val run_open_loop :
   rate_rps:float ->
   duration_us:float ->
   ?warmup_us:float ->
+  ?seed:int ->
+  ?via:
+    (entry:string ->
+    req:string ->
+    on_done:(latency_us:float -> ok:bool -> unit) ->
+    unit) ->
   unit ->
   result
 (** Poisson arrivals.  Requests still in flight when the window closes are
-    given 30 virtual seconds to finish; unfinished ones count as failures. *)
+    given 30 virtual seconds to finish; unfinished ones count as failures.
+    [seed] (default 0) perturbs the RNG streams.  [via] replaces the direct
+    {!Engine.submit} with a custom submission path — the fault-injection
+    gateway ({!Quilt_fault.Policy}) interposes retries/hedging here.  The
+    override must eventually call [on_done] exactly once per request. *)
 
 type phase = {
   ph_name : string;
@@ -64,6 +84,7 @@ val run_phased :
   entry:string ->
   phases:phase list ->
   ?on_sample:(ts:float -> latency_us:float -> ok:bool -> phase:string -> unit) ->
+  ?seed:int ->
   unit ->
   phased_result
 (** A time-varying open-loop workload: phases run back to back with no

@@ -388,6 +388,58 @@ let test_known_calls_adds_missing_edges () =
       let g'' = Builder.known_calls ~code_edges:[ ("root", "seen", Callgraph.Sync) ] g' in
       Alcotest.(check int) "no duplicate" (List.length g'.Callgraph.edges) (List.length g''.Callgraph.edges)
 
+(* --- failure accounting --- *)
+
+(* An allocation past the limit kills the container; the request that
+   caused it is delivered exactly one failure, and the pool recovers. *)
+let test_oom_on_use_mem () =
+  let engine = fresh_dial ~mem_limit:64.0 () in
+  warm engine;
+  let count = ref 0 and last_ok = ref true in
+  Engine.submit engine ~entry:"dial" ~req:(req ~cpu:0 ~io:0 ~mem:200) ~on_done:(fun ~latency_us:_ ~ok ->
+      incr count;
+      last_ok := ok);
+  Engine.drain engine;
+  Alcotest.(check int) "delivered exactly once" 1 !count;
+  Alcotest.(check bool) "as a failure" false !last_ok;
+  let c = Engine.counters engine in
+  Alcotest.(check int) "oom counted" 1 c.Engine.oom_kills;
+  Alcotest.(check int) "failure counted once" 1 c.Engine.failed;
+  let results = run_n engine [ req ~cpu:1000 ~io:0 ~mem:0 ] in
+  Alcotest.(check bool) "replacement container serves again" true (snd (List.hd results))
+
+(* An OOM with several requests in flight on the same container: every one
+   of them fails exactly once, and events the dead container left behind
+   (io wake-ups, the spike's release) must not touch its replacement. *)
+let test_oom_fails_each_inflight_once () =
+  let engine = fresh_dial ~mem_limit:64.0 ~max_scale:1 () in
+  warm engine;
+  let n = 4 in
+  let deliveries = Array.make n 0 in
+  let oks = Array.make n true in
+  for i = 0 to n - 1 do
+    Engine.submit engine ~entry:"dial" ~req:(req ~cpu:0 ~io:200_000 ~mem:0)
+      ~on_done:(fun ~latency_us:_ ~ok ->
+        deliveries.(i) <- deliveries.(i) + 1;
+        oks.(i) <- ok)
+  done;
+  Engine.run_until engine (Engine.now engine +. 50_000.0);
+  let spiked, oomed = Engine.mem_spike engine ~fn:"dial" ~mb:500.0 ~duration_us:10_000.0 in
+  Alcotest.(check int) "the one container was spiked" 1 spiked;
+  Alcotest.(check int) "and OOMed" 1 oomed;
+  Engine.drain engine;
+  Array.iteri
+    (fun i d -> Alcotest.(check int) (Printf.sprintf "request %d delivered exactly once" i) 1 d)
+    deliveries;
+  Array.iteri (fun i ok -> Alcotest.(check bool) (Printf.sprintf "request %d failed" i) false ok) oks;
+  let c = Engine.counters engine in
+  Alcotest.(check int) "one oom kill" 1 c.Engine.oom_kills;
+  Alcotest.(check int) "every in-flight request failed once" n c.Engine.failed;
+  Alcotest.(check int) "only the warm-up completed" 1 c.Engine.completed;
+  let results = run_n engine [ req ~cpu:1000 ~io:0 ~mem:0 ] in
+  Alcotest.(check bool) "fresh container serves after the kill" true (snd (List.hd results));
+  Alcotest.(check int) "no stale failures from the dead container" n (Engine.counters engine).Engine.failed
+
 let suite =
   [
     ( "engine.cpu",
@@ -410,6 +462,11 @@ let suite =
         Alcotest.test_case "think time" `Quick test_closed_loop_think_time;
         Alcotest.test_case "open loop rate" `Quick test_open_loop_rate_respected;
         Alcotest.test_case "deterministic" `Quick test_simulation_is_deterministic;
+      ] );
+    ( "engine.failures",
+      [
+        Alcotest.test_case "oom delivered exactly once" `Quick test_oom_on_use_mem;
+        Alcotest.test_case "oom fails all in-flight once" `Quick test_oom_fails_each_inflight_once;
       ] );
     ( "tracing.builder",
       [

@@ -16,4 +16,5 @@ let () =
        Test_engine.suite;
        Test_apps.suite;
        Test_control.suite;
+       Test_fault.suite;
      ])
