@@ -46,11 +46,11 @@ let latency_run engine ~entry ~gen_req ~duration_us =
    re-running a section replaces only its own key. *)
 let bench_json_file = "BENCH_decision.json"
 
-let record_timings ~key entries =
+let record_timings ?(file = bench_json_file) ~key entries =
   let existing =
-    if Sys.file_exists bench_json_file then
+    if Sys.file_exists file then
       try
-        let ic = open_in_bin bench_json_file in
+        let ic = open_in_bin file in
         let len = in_channel_length ic in
         let s = really_input_string ic len in
         close_in ic;
@@ -59,11 +59,11 @@ let record_timings ~key entries =
     else []
   in
   let merged = List.filter (fun (k, _) -> k <> key) existing @ [ (key, Json.Obj entries) ] in
-  let oc = open_out_bin bench_json_file in
+  let oc = open_out_bin file in
   output_string oc (Json.to_string (Json.Obj merged));
   output_char oc '\n';
   close_out oc;
-  Printf.printf "  [timings recorded under %S in %s]\n%!" key bench_json_file
+  Printf.printf "  [timings recorded under %S in %s]\n%!" key file
 
 let optimize_or_fail cfg wf =
   match Quilt.optimize cfg ~workflows:[ wf ] wf with

@@ -16,6 +16,7 @@ let experiments =
     ("adaptive", Adaptive.run, "online control plane: drift, re-merge, canary (writes BENCH_adaptive.json)");
     ("fault", Fault.run, "fault injection: availability/goodput under chaos (writes BENCH_fault.json)");
     ("micro", Micro.run, "bechamel micro-benchmarks of the core algorithms");
+    ("ir", Ir_bench.run, "tree-walker vs QVM compiled engine (writes BENCH_ir.json)");
   ]
 
 let usage () =
@@ -33,6 +34,7 @@ let () =
         if a = "--smoke" then begin
           Adaptive.smoke_flag := true;
           Fault.smoke_flag := true;
+          Ir_bench.smoke_flag := true;
           false
         end
         else true)

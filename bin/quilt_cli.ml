@@ -67,7 +67,7 @@ let decide_cmd async name =
       Printf.eprintf "decision failed: %s\n" e;
       exit 1
 
-let merge_cmd async dump_ir name =
+let merge_cmd async dump_ir req name =
   let wf = find_workflow ~async name in
   let report =
     Pipeline.merge_group
@@ -83,6 +83,18 @@ let merge_cmd async dump_ir name =
   List.iter
     (fun (callee, sites) -> Printf.printf "  merged %-24s (%d call sites rewritten)\n" callee sites)
     report.Pipeline.rounds;
+  (* Validation run on the default engine (QVM; QUILT_TREEWALK=1 falls back
+     to the tree-walker). *)
+  let req =
+    match req with Some r -> r | None -> wf.Workflow.gen_req (Quilt_util.Rng.create 1)
+  in
+  (match Pipeline.validate ~host:Quilt_ir.Interp.echo_host report ~req with
+  | Ok (res, stats) ->
+      Printf.printf "validated on %s engine: %s -> %s (%d steps)\n"
+        (Quilt_ir.Vm.engine_name ()) req res stats.Quilt_ir.Interp.steps
+  | Error e ->
+      Printf.eprintf "validation on %s engine failed: %s\n" (Quilt_ir.Vm.engine_name ()) e;
+      exit 1);
   if dump_ir then print_string (Quilt_ir.Pp.to_string report.Pipeline.merged_module)
 
 let bench_cmd async rate duration seed name =
@@ -182,9 +194,16 @@ let decide_t =
 
 let merge_t =
   let dump = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the merged QIR module.") in
+  let req =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "req" ] ~docv:"JSON"
+          ~doc:"Request for the post-merge validation run (default: a generated one).")
+  in
   Cmd.v
     (Cmd.info "merge" ~doc:"Run the Figure-5 merge pipeline over a whole workflow (§5)")
-    Term.(const merge_cmd $ async_flag $ dump $ workflow_arg)
+    Term.(const merge_cmd $ async_flag $ dump $ req $ workflow_arg)
 
 let seed_flag =
   Arg.(

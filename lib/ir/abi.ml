@@ -1,70 +1,180 @@
 module Mem = struct
   exception Trap of string
 
+  (* One flat arena with bump allocation.  Block ids are dense (1, 2, ...),
+     so the block table is a pair of int arrays (span start, span length)
+     indexed by id: decoding a pointer — the innermost operation of every
+     load, store and string shim — is two bound checks and two array
+     reads, and allocating a block is a bump plus two array writes with no
+     per-block OCaml allocation (and so no GC traffic proportional to
+     guest allocation rate).
+
+     The arena is created uninitialized; [alloc] zeroes each fresh span
+     (the documented "fresh zero bytes" contract), and the raw allocator
+     below skips even that for spans the caller fully overwrites.  Bytes
+     past [brk] are never part of any block, so their contents are
+     unobservable. *)
   type t = {
-    blocks : (int, Bytes.t) Hashtbl.t;
-    mutable next : int;
+    mutable arena : Bytes.t;
+    mutable starts : int array;
+    mutable lens : int array;
+    mutable next : int;  (* next block id *)
+    mutable brk : int;  (* first free arena offset *)
     mutable total : int;
   }
 
-  let create () = { blocks = Hashtbl.create 64; next = 1; total = 0 }
+  let create () =
+    {
+      arena = Bytes.create 65536;
+      starts = Array.make 64 0;
+      lens = Array.make 64 0;
+      next = 1;
+      total = 0;
+      brk = 0;
+    }
 
-  let alloc m n =
+  (* Reserves a span without zeroing it: the caller promises to overwrite
+     all [n] bytes (or zero what it doesn't).  Returns the block's pointer
+     and its start offset in [m.arena].  NOTE: the arena may be replaced
+     by a later allocation's growth, so the start offset (and any use of
+     [m.arena]) is only valid until the next alloc. *)
+  let alloc_raw m n =
     if n < 0 then raise (Trap "negative allocation");
     let id = m.next in
-    m.next <- m.next + 1;
-    Hashtbl.replace m.blocks id (Bytes.make n '\000');
+    m.next <- id + 1;
+    if id >= Array.length m.starts then begin
+      let cap = 2 * Array.length m.starts in
+      let s = Array.make cap 0 and l = Array.make cap 0 in
+      Array.blit m.starts 0 s 0 id;
+      Array.blit m.lens 0 l 0 id;
+      m.starts <- s;
+      m.lens <- l
+    end;
+    if m.brk + n > Bytes.length m.arena then begin
+      let cap = ref (2 * Bytes.length m.arena) in
+      while !cap < m.brk + n do
+        cap := 2 * !cap
+      done;
+      let a = Bytes.create !cap in
+      Bytes.blit m.arena 0 a 0 m.brk;
+      m.arena <- a
+    end;
+    let start = m.brk in
+    Array.unsafe_set m.starts id start;
+    Array.unsafe_set m.lens id n;
+    m.brk <- start + n;
     m.total <- m.total + n;
-    Int64.logor (Int64.shift_left (Int64.of_int id) 32) 0L
+    (Int64.shift_left (Int64.of_int id) 32, start)
 
+  let alloc m n =
+    let ptr, start = alloc_raw m n in
+    Bytes.fill m.arena start n '\000';
+    ptr
+
+  (* Returns the block's (start, length) span and the offset within it. *)
   let decode m ptr =
     if ptr = 0L then raise (Trap "null pointer dereference");
     let id = Int64.to_int (Int64.shift_right_logical ptr 32) in
     let off = Int64.to_int (Int64.logand ptr 0xFFFFFFFFL) in
-    match Hashtbl.find_opt m.blocks id with
-    | Some b -> (b, off)
-    | None -> raise (Trap (Printf.sprintf "wild pointer (block %d)" id))
+    if id > 0 && id < m.next then
+      (Array.unsafe_get m.starts id, Array.unsafe_get m.lens id, off)
+    else raise (Trap (Printf.sprintf "wild pointer (block %d)" id))
 
   let load_byte m ptr =
-    let b, off = decode m ptr in
-    if off < 0 || off >= Bytes.length b then raise (Trap "load out of bounds");
-    Char.code (Bytes.get b off)
+    let s, len, off = decode m ptr in
+    if off < 0 || off >= len then raise (Trap "load out of bounds");
+    Char.code (Bytes.unsafe_get m.arena (s + off))
 
   let store_byte m ptr v =
-    let b, off = decode m ptr in
-    if off < 0 || off >= Bytes.length b then raise (Trap "store out of bounds");
-    Bytes.set b off (Char.chr (v land 0xff))
+    let s, len, off = decode m ptr in
+    if off < 0 || off >= len then raise (Trap "store out of bounds");
+    Bytes.unsafe_set m.arena (s + off) (Char.chr (v land 0xff))
 
   let load_i64 m ptr =
-    let b, off = decode m ptr in
-    if off < 0 || off + 8 > Bytes.length b then raise (Trap "load i64 out of bounds");
-    Bytes.get_int64_le b off
+    let s, len, off = decode m ptr in
+    if off < 0 || off + 8 > len then raise (Trap "load i64 out of bounds");
+    Bytes.get_int64_le m.arena (s + off)
 
   let store_i64 m ptr v =
-    let b, off = decode m ptr in
-    if off < 0 || off + 8 > Bytes.length b then raise (Trap "store i64 out of bounds");
-    Bytes.set_int64_le b off v
+    let s, len, off = decode m ptr in
+    if off < 0 || off + 8 > len then raise (Trap "store i64 out of bounds");
+    Bytes.set_int64_le m.arena (s + off) v
 
   let offset ptr n = Int64.add ptr (Int64.of_int n)
 
+  (* One decode + one NUL scan, instead of a block-table lookup per byte.
+     The scan may overshoot the block into neighbouring arena bytes, but a
+     NUL found at or past the block end only ever yields the same
+     "unterminated string" trap the bounded scan would. *)
   let read_cstr m ptr =
-    let b, off = decode m ptr in
-    let len = Bytes.length b in
-    let rec find i = if i >= len then raise (Trap "unterminated string") else if Bytes.get b i = '\000' then i else find (i + 1) in
-    let stop = find off in
-    Bytes.sub_string b off (stop - off)
+    let s, len, off = decode m ptr in
+    if off < 0 || off > len then raise (Trap "unterminated string");
+    match Bytes.index_from_opt m.arena (s + off) '\000' with
+    | Some stop when stop < s + len -> Bytes.sub_string m.arena (s + off) (stop - s - off)
+    | Some _ | None -> raise (Trap "unterminated string")
 
+  (* One raw alloc + one blit: every byte of the fresh block is written
+     (payload plus explicit trailing NUL), and a fresh block of
+     [len s + 1] bytes cannot be out of bounds, so the per-byte checks of
+     the old store_byte loop were dead. *)
   let write_cstr m s =
-    let ptr = alloc m (String.length s + 1) in
-    String.iteri (fun i c -> store_byte m (offset ptr i) (Char.code c)) s;
+    let n = String.length s in
+    let ptr, start = alloc_raw m (n + 1) in
+    Bytes.blit_string s 0 m.arena start n;
+    Bytes.unsafe_set m.arena (start + n) '\000';
     ptr
 
+  let blit_string m s ptr =
+    let bs, len, off = decode m ptr in
+    let n = String.length s in
+    if off < 0 || off + n > len then raise (Trap "store out of bounds");
+    Bytes.blit_string s 0 m.arena (bs + off) n
+
   let read_bytes m ptr n =
-    let b, off = decode m ptr in
-    if off < 0 || off + n > Bytes.length b then raise (Trap "read out of bounds");
-    Bytes.sub_string b off n
+    let s, len, off = decode m ptr in
+    if off < 0 || off + n > len then raise (Trap "read out of bounds");
+    Bytes.sub_string m.arena (s + off) n
 
   let allocated_bytes m = m.total
+
+  (* A frozen copy of a heap's live state (arena prefix + block table),
+     trimmed to what is actually in use.  [restore] rehydrates it into a
+     fresh, independent heap: the compiled engine snapshots a heap holding
+     the materialized globals once per program and then starts each request
+     from a few blits instead of replaying every initializer. *)
+  type snapshot = {
+    s_arena : Bytes.t;
+    s_starts : int array;
+    s_lens : int array;
+    s_next : int;
+    s_total : int;
+  }
+
+  let snapshot m =
+    {
+      s_arena = Bytes.sub m.arena 0 m.brk;
+      s_starts = Array.sub m.starts 0 m.next;
+      s_lens = Array.sub m.lens 0 m.next;
+      s_next = m.next;
+      s_total = m.total;
+    }
+
+  let restore s =
+    let used = Bytes.length s.s_arena in
+    let cap = ref 65536 in
+    while !cap < used do
+      cap := 2 * !cap
+    done;
+    let arena = Bytes.create !cap in
+    Bytes.blit s.s_arena 0 arena 0 used;
+    let tcap = ref 64 in
+    while !tcap < s.s_next do
+      tcap := 2 * !tcap
+    done;
+    let starts = Array.make !tcap 0 and lens = Array.make !tcap 0 in
+    Array.blit s.s_starts 0 starts 0 s.s_next;
+    Array.blit s.s_lens 0 lens 0 s.s_next;
+    { arena; starts; lens; next = s.s_next; brk = used; total = s.s_total }
 end
 
 type str_abi = {
@@ -73,13 +183,19 @@ type str_abi = {
   alloc_str : Mem.t -> string -> int64;
 }
 
-let write_raw m s =
-  let ptr = Mem.alloc m (max 1 (String.length s)) in
-  String.iteri (fun i c -> Mem.store_byte m (Mem.offset ptr i) (Char.code c)) s;
-  ptr
-
 let c_abi lang =
   { abi_lang = lang; read_str = Mem.read_cstr; alloc_str = (fun m s -> Mem.write_cstr m s) }
+
+(* Reads the {data ptr; len} pair at [h + at]: one decode and one combined
+   bound check instead of two full load_i64 round-trips.  Any failure the
+   two separate loads would have hit raises the same "load i64 out of
+   bounds" trap. *)
+let read_header2 m h at =
+  let s, len, off = Mem.decode m h in
+  let off = off + at in
+  if off < 0 || off + 16 > len then raise (Mem.Trap "load i64 out of bounds");
+  let a = m.Mem.arena in
+  (Bytes.get_int64_le a (s + off), Int64.to_int (Bytes.get_int64_le a (s + off + 8)))
 
 (* Rust String: {data ptr; len; cap}; data has cap >= len bytes, no NUL. *)
 let rust_abi =
@@ -87,17 +203,23 @@ let rust_abi =
     abi_lang = "rust";
     read_str =
       (fun m h ->
-        let data = Mem.load_i64 m h in
-        let len = Int64.to_int (Mem.load_i64 m (Mem.offset h 8)) in
+        let data, len = read_header2 m h 0 in
         if len = 0 then "" else Mem.read_bytes m data len);
     alloc_str =
       (fun m s ->
-        let cap = String.length s + 8 in
-        let data = write_raw m (s ^ String.make 8 '\000') in
-        let h = Mem.alloc m 24 in
-        Mem.store_i64 m h data;
-        Mem.store_i64 m (Mem.offset h 8) (Int64.of_int (String.length s));
-        Mem.store_i64 m (Mem.offset h 16) (Int64.of_int cap);
+        let len = String.length s in
+        let cap = len + 8 in
+        (* Raw spans are uninitialized: the payload is blitted and the eight
+           bytes of readable slack are zeroed explicitly. *)
+        let data, ds = Mem.alloc_raw m cap in
+        Bytes.blit_string s 0 m.Mem.arena ds len;
+        Bytes.fill m.Mem.arena (ds + len) 8 '\000';
+        let h, hs = Mem.alloc_raw m 24 in
+        (* Re-read the arena: the header allocation may have grown it. *)
+        let a = m.Mem.arena in
+        Bytes.set_int64_le a hs data;
+        Bytes.set_int64_le a (hs + 8) (Int64.of_int len);
+        Bytes.set_int64_le a (hs + 16) (Int64.of_int cap);
         h);
   }
 
@@ -107,15 +229,18 @@ let go_abi =
     abi_lang = "go";
     read_str =
       (fun m h ->
-        let data = Mem.load_i64 m h in
-        let len = Int64.to_int (Mem.load_i64 m (Mem.offset h 8)) in
+        let data, len = read_header2 m h 0 in
         if len = 0 then "" else Mem.read_bytes m data len);
     alloc_str =
       (fun m s ->
-        let data = write_raw m (if s = "" then "\000" else s) in
-        let h = Mem.alloc m 16 in
-        Mem.store_i64 m h data;
-        Mem.store_i64 m (Mem.offset h 8) (Int64.of_int (String.length s));
+        let len = String.length s in
+        let data, ds = Mem.alloc_raw m (max 1 len) in
+        if len = 0 then Bytes.unsafe_set m.Mem.arena ds '\000'
+        else Bytes.blit_string s 0 m.Mem.arena ds len;
+        let h, hs = Mem.alloc_raw m 16 in
+        let a = m.Mem.arena in
+        Bytes.set_int64_le a hs data;
+        Bytes.set_int64_le a (hs + 8) (Int64.of_int len);
         h);
   }
 
@@ -125,16 +250,19 @@ let swift_abi =
     abi_lang = "swift";
     read_str =
       (fun m h ->
-        let data = Mem.load_i64 m (Mem.offset h 8) in
-        let len = Int64.to_int (Mem.load_i64 m (Mem.offset h 16)) in
+        let data, len = read_header2 m h 8 in
         if len = 0 then "" else Mem.read_bytes m data len);
     alloc_str =
       (fun m s ->
-        let data = write_raw m (if s = "" then "\000" else s) in
-        let h = Mem.alloc m 24 in
-        Mem.store_i64 m h 1L;
-        Mem.store_i64 m (Mem.offset h 8) data;
-        Mem.store_i64 m (Mem.offset h 16) (Int64.of_int (String.length s));
+        let len = String.length s in
+        let data, ds = Mem.alloc_raw m (max 1 len) in
+        if len = 0 then Bytes.unsafe_set m.Mem.arena ds '\000'
+        else Bytes.blit_string s 0 m.Mem.arena ds len;
+        let h, hs = Mem.alloc_raw m 24 in
+        let a = m.Mem.arena in
+        Bytes.set_int64_le a hs 1L;
+        Bytes.set_int64_le a (hs + 8) data;
+        Bytes.set_int64_le a (hs + 16) (Int64.of_int len);
         h);
   }
 

@@ -37,8 +37,22 @@ module Mem : sig
   val write_cstr : t -> string -> int64
   (** Allocates and writes a NUL-terminated copy; returns its address. *)
 
+  val blit_string : t -> string -> int64 -> unit
+  (** Bulk store of a whole string at a pointer; raises {!Trap} ("store out
+      of bounds") if it does not fit in the block. *)
+
   val read_bytes : t -> int64 -> int -> string
   val allocated_bytes : t -> int
+
+  type snapshot
+  (** A frozen copy of a heap's live state. *)
+
+  val snapshot : t -> snapshot
+  val restore : snapshot -> t
+  (** [restore s] builds a fresh heap whose contents, block table and
+      allocation cursor equal the snapshotted heap's; the two share no
+      mutable state.  Lets an engine pay for global materialization once
+      per program instead of once per request. *)
 end
 
 type str_abi = {

@@ -49,15 +49,368 @@ type value = VInt of int64 | VFloat of float
 let as_int = function VInt v -> v | VFloat _ -> trap "expected integer value"
 let as_float = function VFloat f -> f | VInt _ -> trap "expected float value"
 
-type ctx = {
-  m : Ir.modul;
+(* The runtime core shared by the two engines: everything a request's
+   execution mutates except the control state (locals, fuel), which each
+   engine represents its own way. *)
+type rctx = {
   mem : Mem.t;
   stats : stats;
   host : host;
-  globals : (string, int64) Hashtbl.t;
-  mutable fuel : int;
   mutable req_ptr : int64;  (* what quilt_get_req returns *)
   mutable response : string option;
+  json_cache : (string, Json.t * bool) Hashtbl.t;
+      (* Parse results keyed by string content (parsing is pure, values are
+         immutable, so this is invisible to programs).  The bool marks
+         strings known to be exactly [Json.to_string] of the value, which
+         lets the json_set natives append a field textually instead of
+         re-printing the whole object. *)
+}
+
+let make_rctx ?mem ~host () =
+  {
+    mem = (match mem with Some m -> m | None -> Mem.create ());
+    stats = new_stats ();
+    host;
+    req_ptr = 0L;
+    response = None;
+    json_cache = Hashtbl.create 32;
+  }
+
+(* --- Native (intrinsic) implementations --- *)
+
+(* Interned intrinsic identity.  The tree-walker re-interns the callee name
+   on every call (as it always did, string slicing included); the compiled
+   engine interns once at lowering time and dispatches on the variant. *)
+
+type shared_op =
+  | Malloc
+  | Free
+  | Memcpy
+  | Strlen
+  | Get_req
+  | Send_res
+  | Sync_inv
+  | Async_inv
+  | Async_wait
+  | Future_ready
+  | Curl_global_init
+  | Curl_init_once
+  | Burn_cpu
+  | Sleep_io
+  | Use_mem
+  | Bill
+
+type lang_op =
+  | Str_from_c
+  | Str_to_c
+  | Concat
+  | Itoa
+  | Atoi
+  | Str_eq
+  | Json_get_str
+  | Json_get_int
+  | Json_arr_len
+  | Json_arr_get
+  | Json_empty
+  | Json_set_str
+  | Json_set_int
+  | Json_set_raw
+
+type intrinsic =
+  | Sh of shared_op
+  | Ln of Abi.str_abi * lang_op
+  | Unknown_native of string  (** traps "unknown native ..." when executed *)
+  | Bad_native of string  (** traps "bad native call .../argc" when executed *)
+
+let shared_op_of_name = function
+  | "quilt_malloc" -> Some Malloc
+  | "quilt_free" -> Some Free
+  | "quilt_memcpy" -> Some Memcpy
+  | "quilt_strlen" -> Some Strlen
+  | "quilt_get_req" -> Some Get_req
+  | "quilt_send_res" -> Some Send_res
+  | "quilt_sync_inv" -> Some Sync_inv
+  | "quilt_async_inv" -> Some Async_inv
+  | "quilt_async_wait" -> Some Async_wait
+  | "quilt_future_ready" -> Some Future_ready
+  | "quilt_curl_global_init" -> Some Curl_global_init
+  | "quilt_curl_init_once" -> Some Curl_init_once
+  | "quilt_burn_cpu" -> Some Burn_cpu
+  | "quilt_sleep_io" -> Some Sleep_io
+  | "quilt_use_mem" -> Some Use_mem
+  | "quilt_bill" -> Some Bill
+  | _ -> None
+
+let shared_op_name = function
+  | Malloc -> "quilt_malloc"
+  | Free -> "quilt_free"
+  | Memcpy -> "quilt_memcpy"
+  | Strlen -> "quilt_strlen"
+  | Get_req -> "quilt_get_req"
+  | Send_res -> "quilt_send_res"
+  | Sync_inv -> "quilt_sync_inv"
+  | Async_inv -> "quilt_async_inv"
+  | Async_wait -> "quilt_async_wait"
+  | Future_ready -> "quilt_future_ready"
+  | Curl_global_init -> "quilt_curl_global_init"
+  | Curl_init_once -> "quilt_curl_init_once"
+  | Burn_cpu -> "quilt_burn_cpu"
+  | Sleep_io -> "quilt_sleep_io"
+  | Use_mem -> "quilt_use_mem"
+  | Bill -> "quilt_bill"
+
+let lang_op_of_suffix = function
+  | "str_from_c" -> Some Str_from_c
+  | "str_to_c" -> Some Str_to_c
+  | "concat" -> Some Concat
+  | "itoa" -> Some Itoa
+  | "atoi" -> Some Atoi
+  | "str_eq" -> Some Str_eq
+  | "json_get_str" -> Some Json_get_str
+  | "json_get_int" -> Some Json_get_int
+  | "json_arr_len" -> Some Json_arr_len
+  | "json_arr_get" -> Some Json_arr_get
+  | "json_empty" -> Some Json_empty
+  | "json_set_str" -> Some Json_set_str
+  | "json_set_int" -> Some Json_set_int
+  | "json_set_raw" -> Some Json_set_raw
+  | _ -> None
+
+let lang_op_suffix = function
+  | Str_from_c -> "str_from_c"
+  | Str_to_c -> "str_to_c"
+  | Concat -> "concat"
+  | Itoa -> "itoa"
+  | Atoi -> "atoi"
+  | Str_eq -> "str_eq"
+  | Json_get_str -> "json_get_str"
+  | Json_get_int -> "json_get_int"
+  | Json_arr_len -> "json_arr_len"
+  | Json_arr_get -> "json_arr_get"
+  | Json_empty -> "json_empty"
+  | Json_set_str -> "json_set_str"
+  | Json_set_int -> "json_set_int"
+  | Json_set_raw -> "json_set_raw"
+
+let intern_intrinsic name =
+  match String.index_opt name '_' with
+  | Some i when String.sub name 0 i <> "quilt" -> (
+      let lang = String.sub name 0 i in
+      let suffix = String.sub name (i + 1) (String.length name - i - 1) in
+      if not (List.mem lang Intrinsics.languages) then Unknown_native name
+      else
+        match lang_op_of_suffix suffix with
+        | Some op -> Ln (Abi.abi_of_lang lang, op)
+        | None -> Bad_native name)
+  | Some _ | None -> (
+      match shared_op_of_name name with Some op -> Sh op | None -> Bad_native name)
+
+(* Failures are never cached: a lenient miss must not shadow the strict
+   parser's trap for the same string. *)
+let json_parse rc str =
+  match Hashtbl.find_opt rc.json_cache str with
+  | Some (v, _) -> v
+  | None -> (
+      match Json.of_string str with
+      | v ->
+          Hashtbl.replace rc.json_cache str (v, false);
+          v
+      | exception Json.Parse_error msg -> trap "json parse error: %s" msg)
+
+(* Field reads are lenient (see Quilt_lang.Eval): unparsable input reads as
+   null; writes on non-objects still trap. *)
+let json_parse_lenient rc str =
+  match Hashtbl.find_opt rc.json_cache str with
+  | Some (v, _) -> v
+  | None -> (
+      match Json.of_string str with
+      | v ->
+          Hashtbl.replace rc.json_cache str (v, false);
+          v
+      | exception Json.Parse_error _ -> Json.Null)
+
+(* Shared tail of the json_set_* natives: [obj]/[sobj] is the parsed input
+   object and its text, [k] the key, [v] the field's new value.  When the
+   input text is canonical and the key is fresh, the output is produced by
+   splicing the printed field before the closing brace — byte-identical to
+   re-printing the whole object, without the O(object) cost. *)
+let json_set_field rc sobj fields canonical k v =
+  let fresh = not (List.mem_assoc k fields) in
+  let out_value = Json.Obj ((if fresh then fields else List.remove_assoc k fields) @ [ (k, v) ]) in
+  let out =
+    if canonical && fresh then begin
+      let field = Json.to_string (Json.Obj [ (k, v) ]) in
+      let n = String.length sobj in
+      let buf = Buffer.create (n + String.length field) in
+      Buffer.add_substring buf sobj 0 (n - 1);
+      if fields <> [] then Buffer.add_char buf ',';
+      Buffer.add_substring buf field 1 (String.length field - 1);
+      Buffer.contents buf
+    end
+    else Json.to_string out_value
+  in
+  Hashtbl.replace rc.json_cache out (out_value, true);
+  out
+
+let json_member_string obj key =
+  match Json.member key obj with
+  | Json.String s -> s
+  | Json.Int i -> string_of_int i
+  | Json.Null -> ""
+  | other -> Json.to_string other
+
+let exec_lang rc (abi : Abi.str_abi) op (args : value list) : value option =
+  let mem = rc.mem in
+  let str v = abi.Abi.read_str mem (as_int v) in
+  let ret_str s = Some (VInt (abi.Abi.alloc_str mem s)) in
+  match op, args with
+  | Str_from_c, [ p ] -> ret_str (Mem.read_cstr mem (as_int p))
+  | Str_to_c, [ h ] -> Some (VInt (Mem.write_cstr mem (str h)))
+  | Concat, [ a; b ] -> ret_str (str a ^ str b)
+  | Itoa, [ n ] -> ret_str (Int64.to_string (as_int n))
+  | Atoi, [ s ] -> (
+      let text = String.trim (str s) in
+      match Int64.of_string_opt text with
+      | Some v -> Some (VInt v)
+      | None -> Some (VInt 0L))
+  | Str_eq, [ a; b ] -> Some (VInt (if str a = str b then 1L else 0L))
+  | Json_get_str, [ obj; key ] ->
+      ret_str (json_member_string (json_parse_lenient rc (str obj)) (str key))
+  | Json_get_int, [ obj; key ] -> (
+      match Json.to_int_opt (Json.member (str key) (json_parse_lenient rc (str obj))) with
+      | Some i -> Some (VInt (Int64.of_int i))
+      | None -> Some (VInt 0L))
+  | Json_arr_len, [ obj; key ] ->
+      let items = Json.to_list (Json.member (str key) (json_parse_lenient rc (str obj))) in
+      Some (VInt (Int64.of_int (List.length items)))
+  | Json_arr_get, [ obj; key; idx ] -> (
+      let items = Json.to_list (Json.member (str key) (json_parse_lenient rc (str obj))) in
+      let i = Int64.to_int (as_int idx) in
+      match List.nth_opt items i with
+      | Some item -> ret_str (Json.to_string item)
+      | None -> trap "json_arr_get: index %d out of bounds (%d items)" i (List.length items))
+  | Json_empty, [] ->
+      Hashtbl.replace rc.json_cache "{}" (Json.Obj [], true);
+      ret_str "{}"
+  | Json_set_str, [ obj; key; v ] -> (
+      let sobj = str obj in
+      let canonical, parsed =
+        match Hashtbl.find_opt rc.json_cache sobj with
+        | Some (pv, c) -> (c, pv)
+        | None -> (false, json_parse rc sobj)
+      in
+      match parsed with
+      | Json.Obj fields ->
+          let sv = Json.String (str v) in
+          let k = str key in
+          ret_str (json_set_field rc sobj fields canonical k sv)
+      | _ -> trap "json_set_str: not an object")
+  | Json_set_int, [ obj; key; v ] -> (
+      let sobj = str obj in
+      let canonical, parsed =
+        match Hashtbl.find_opt rc.json_cache sobj with
+        | Some (pv, c) -> (c, pv)
+        | None -> (false, json_parse rc sobj)
+      in
+      match parsed with
+      | Json.Obj fields ->
+          let iv = Json.Int (Int64.to_int (as_int v)) in
+          let k = str key in
+          ret_str (json_set_field rc sobj fields canonical k iv)
+      | _ -> trap "json_set_int: not an object")
+  | Json_set_raw, [ obj; key; v ] -> (
+      let sobj = str obj in
+      let canonical, parsed =
+        match Hashtbl.find_opt rc.json_cache sobj with
+        | Some (pv, c) -> (c, pv)
+        | None -> (false, json_parse rc sobj)
+      in
+      match parsed with
+      | Json.Obj fields ->
+          let vj = json_parse rc (str v) in
+          let k = str key in
+          ret_str (json_set_field rc sobj fields canonical k vj)
+      | _ -> trap "json_set_raw: not an object")
+  | _, _ ->
+      trap "bad native call %s_%s/%d" abi.Abi.abi_lang (lang_op_suffix op) (List.length args)
+
+let exec_shared rc op (args : value list) : value option =
+  let mem = rc.mem in
+  match op, args with
+  | Malloc, [ n ] -> Some (VInt (Mem.alloc mem (Int64.to_int (as_int n))))
+  | Free, [ _ ] -> None
+  | Memcpy, [ dst; src; n ] ->
+      let n = Int64.to_int (as_int n) in
+      for i = 0 to n - 1 do
+        Mem.store_byte mem (Mem.offset (as_int dst) i) (Mem.load_byte mem (Mem.offset (as_int src) i))
+      done;
+      None
+  | Strlen, [ p ] -> Some (VInt (Int64.of_int (String.length (Mem.read_cstr mem (as_int p)))))
+  | Get_req, [] ->
+      if rc.req_ptr = 0L then trap "quilt_get_req outside a request";
+      Some (VInt rc.req_ptr)
+  | Send_res, [ p ] ->
+      rc.response <- Some (Mem.read_cstr mem (as_int p));
+      None
+  | Sync_inv, [ namep; reqp ] ->
+      if not rc.stats.curl_loaded then trap "quilt_sync_inv before HTTP stack initialisation";
+      let callee = Mem.read_cstr mem (as_int namep) in
+      let req = Mem.read_cstr mem (as_int reqp) in
+      rc.stats.remote_sync <- (callee, req) :: rc.stats.remote_sync;
+      let res = rc.host.invoke ~kind:`Sync ~name:callee ~req in
+      Some (VInt (Mem.write_cstr mem res))
+  | Async_inv, [ namep; reqp ] ->
+      if not rc.stats.curl_loaded then trap "quilt_async_inv before HTTP stack initialisation";
+      let callee = Mem.read_cstr mem (as_int namep) in
+      let req = Mem.read_cstr mem (as_int reqp) in
+      rc.stats.remote_async <- (callee, req) :: rc.stats.remote_async;
+      let res = rc.host.invoke ~kind:`Async ~name:callee ~req in
+      let fut = Mem.alloc mem 8 in
+      Mem.store_i64 mem fut (Mem.write_cstr mem res);
+      Some (VInt fut)
+  | Future_ready, [ p ] ->
+      let fut = Mem.alloc mem 8 in
+      Mem.store_i64 mem fut (as_int p);
+      Some (VInt fut)
+  | Async_wait, [ f ] -> Some (VInt (Mem.load_i64 mem (as_int f)))
+  | Curl_global_init, [] ->
+      rc.stats.curl_loaded <- true;
+      rc.stats.curl_loaded_eagerly <- true;
+      None
+  | Curl_init_once, [] ->
+      rc.stats.curl_loaded <- true;
+      None
+  | Burn_cpu, [ us ] ->
+      rc.stats.cpu_us <- rc.stats.cpu_us +. Int64.to_float (as_int us);
+      None
+  | Sleep_io, [ us ] ->
+      rc.stats.io_us <- rc.stats.io_us +. Int64.to_float (as_int us);
+      None
+  | Use_mem, [ mb ] ->
+      rc.stats.peak_mem_mb <- Float.max rc.stats.peak_mem_mb (Int64.to_float (as_int mb));
+      None
+  | Bill, [ p ] ->
+      let fn = Mem.read_cstr mem (as_int p) in
+      Hashtbl.replace rc.stats.billing fn
+        (1 + Option.value ~default:0 (Hashtbl.find_opt rc.stats.billing fn));
+      None
+  | _, _ -> trap "bad native call %s/%d" (shared_op_name op) (List.length args)
+
+let exec_intrinsic rc (i : intrinsic) args =
+  match i with
+  | Sh op -> exec_shared rc op args
+  | Ln (abi, op) -> exec_lang rc abi op args
+  | Unknown_native name -> trap "unknown native %s" name
+  | Bad_native name -> trap "bad native call %s/%d" name (List.length args)
+
+(* --- Core execution (the tree-walking engine) --- *)
+
+type ctx = {
+  m : Ir.modul;
+  index : string -> Ir.func option;
+  rc : rctx;
+  globals : (string, int64) Hashtbl.t;
+  mutable fuel : int;
 }
 
 let materialize_globals ctx =
@@ -65,11 +418,11 @@ let materialize_globals ctx =
     (fun (g : Ir.global) ->
       let ptr =
         match g.Ir.ginit with
-        | Ir.Gstr s -> Mem.write_cstr ctx.mem s
-        | Ir.Gzero n -> Mem.alloc ctx.mem n
+        | Ir.Gstr s -> Mem.write_cstr ctx.rc.mem s
+        | Ir.Gzero n -> Mem.alloc ctx.rc.mem n
         | Ir.Gint64 v ->
-            let p = Mem.alloc ctx.mem 8 in
-            Mem.store_i64 ctx.mem p v;
+            let p = Mem.alloc ctx.rc.mem 8 in
+            Mem.store_i64 ctx.rc.mem p v;
             p
       in
       Hashtbl.replace ctx.globals g.Ir.gname ptr)
@@ -80,150 +433,7 @@ let global_addr ctx name =
   | Some p -> p
   | None -> trap "reference to unmaterialized global @%s" name
 
-(* --- Native (intrinsic) implementations --- *)
-
-let json_parse str =
-  match Json.of_string str with
-  | v -> v
-  | exception Json.Parse_error msg -> trap "json parse error: %s" msg
-
-(* Field reads are lenient (see Quilt_lang.Eval): unparsable input reads as
-   null; writes on non-objects still trap. *)
-let json_parse_lenient str =
-  match Json.of_string str with v -> v | exception Json.Parse_error _ -> Json.Null
-
-let json_member_string obj key =
-  match Json.member key obj with
-  | Json.String s -> s
-  | Json.Int i -> string_of_int i
-  | Json.Null -> ""
-  | other -> Json.to_string other
-
-let lang_native ctx lang suffix (args : value list) : value option =
-  let abi = Abi.abi_of_lang lang in
-  let mem = ctx.mem in
-  let str v = abi.Abi.read_str mem (as_int v) in
-  let ret_str s = Some (VInt (abi.Abi.alloc_str mem s)) in
-  match suffix, args with
-  | "str_from_c", [ p ] -> ret_str (Mem.read_cstr mem (as_int p))
-  | "str_to_c", [ h ] -> Some (VInt (Mem.write_cstr mem (str h)))
-  | "concat", [ a; b ] -> ret_str (str a ^ str b)
-  | "itoa", [ n ] -> ret_str (Int64.to_string (as_int n))
-  | "atoi", [ s ] -> (
-      let text = String.trim (str s) in
-      match Int64.of_string_opt text with
-      | Some v -> Some (VInt v)
-      | None -> Some (VInt 0L))
-  | "str_eq", [ a; b ] -> Some (VInt (if str a = str b then 1L else 0L))
-  | "json_get_str", [ obj; key ] ->
-      ret_str (json_member_string (json_parse_lenient (str obj)) (str key))
-  | "json_get_int", [ obj; key ] -> (
-      match Json.to_int_opt (Json.member (str key) (json_parse_lenient (str obj))) with
-      | Some i -> Some (VInt (Int64.of_int i))
-      | None -> Some (VInt 0L))
-  | "json_arr_len", [ obj; key ] ->
-      let items = Json.to_list (Json.member (str key) (json_parse_lenient (str obj))) in
-      Some (VInt (Int64.of_int (List.length items)))
-  | "json_arr_get", [ obj; key; idx ] -> (
-      let items = Json.to_list (Json.member (str key) (json_parse_lenient (str obj))) in
-      let i = Int64.to_int (as_int idx) in
-      match List.nth_opt items i with
-      | Some item -> ret_str (Json.to_string item)
-      | None -> trap "json_arr_get: index %d out of bounds (%d items)" i (List.length items))
-  | "json_empty", [] -> ret_str "{}"
-  | "json_set_str", [ obj; key; v ] -> (
-      match json_parse (str obj) with
-      | Json.Obj fields ->
-          let fields = List.remove_assoc (str key) fields in
-          ret_str (Json.to_string (Json.Obj (fields @ [ (str key, Json.String (str v)) ])))
-      | _ -> trap "json_set_str: not an object")
-  | "json_set_int", [ obj; key; v ] -> (
-      match json_parse (str obj) with
-      | Json.Obj fields ->
-          let fields = List.remove_assoc (str key) fields in
-          ret_str
-            (Json.to_string (Json.Obj (fields @ [ (str key, Json.Int (Int64.to_int (as_int v))) ])))
-      | _ -> trap "json_set_int: not an object")
-  | "json_set_raw", [ obj; key; v ] -> (
-      match json_parse (str obj) with
-      | Json.Obj fields ->
-          let fields = List.remove_assoc (str key) fields in
-          ret_str (Json.to_string (Json.Obj (fields @ [ (str key, json_parse (str v)) ])))
-      | _ -> trap "json_set_raw: not an object")
-  | _ -> trap "bad native call %s_%s/%d" lang suffix (List.length args)
-
-let shared_native ctx name (args : value list) : value option =
-  let mem = ctx.mem in
-  match name, args with
-  | "quilt_malloc", [ n ] -> Some (VInt (Mem.alloc mem (Int64.to_int (as_int n))))
-  | "quilt_free", [ _ ] -> None
-  | "quilt_memcpy", [ dst; src; n ] ->
-      let n = Int64.to_int (as_int n) in
-      for i = 0 to n - 1 do
-        Mem.store_byte mem (Mem.offset (as_int dst) i) (Mem.load_byte mem (Mem.offset (as_int src) i))
-      done;
-      None
-  | "quilt_strlen", [ p ] -> Some (VInt (Int64.of_int (String.length (Mem.read_cstr mem (as_int p)))))
-  | "quilt_get_req", [] ->
-      if ctx.req_ptr = 0L then trap "quilt_get_req outside a request";
-      Some (VInt ctx.req_ptr)
-  | "quilt_send_res", [ p ] ->
-      ctx.response <- Some (Mem.read_cstr mem (as_int p));
-      None
-  | "quilt_sync_inv", [ namep; reqp ] ->
-      if not ctx.stats.curl_loaded then trap "quilt_sync_inv before HTTP stack initialisation";
-      let callee = Mem.read_cstr mem (as_int namep) in
-      let req = Mem.read_cstr mem (as_int reqp) in
-      ctx.stats.remote_sync <- (callee, req) :: ctx.stats.remote_sync;
-      let res = ctx.host.invoke ~kind:`Sync ~name:callee ~req in
-      Some (VInt (Mem.write_cstr mem res))
-  | "quilt_async_inv", [ namep; reqp ] ->
-      if not ctx.stats.curl_loaded then trap "quilt_async_inv before HTTP stack initialisation";
-      let callee = Mem.read_cstr mem (as_int namep) in
-      let req = Mem.read_cstr mem (as_int reqp) in
-      ctx.stats.remote_async <- (callee, req) :: ctx.stats.remote_async;
-      let res = ctx.host.invoke ~kind:`Async ~name:callee ~req in
-      let fut = Mem.alloc mem 8 in
-      Mem.store_i64 mem fut (Mem.write_cstr mem res);
-      Some (VInt fut)
-  | "quilt_future_ready", [ p ] ->
-      let fut = Mem.alloc mem 8 in
-      Mem.store_i64 mem fut (as_int p);
-      Some (VInt fut)
-  | "quilt_async_wait", [ f ] -> Some (VInt (Mem.load_i64 mem (as_int f)))
-  | "quilt_curl_global_init", [] ->
-      ctx.stats.curl_loaded <- true;
-      ctx.stats.curl_loaded_eagerly <- true;
-      None
-  | "quilt_curl_init_once", [] ->
-      ctx.stats.curl_loaded <- true;
-      None
-  | "quilt_burn_cpu", [ us ] ->
-      ctx.stats.cpu_us <- ctx.stats.cpu_us +. Int64.to_float (as_int us);
-      None
-  | "quilt_sleep_io", [ us ] ->
-      ctx.stats.io_us <- ctx.stats.io_us +. Int64.to_float (as_int us);
-      None
-  | "quilt_use_mem", [ mb ] ->
-      ctx.stats.peak_mem_mb <- Float.max ctx.stats.peak_mem_mb (Int64.to_float (as_int mb));
-      None
-  | "quilt_bill", [ p ] ->
-      let fn = Mem.read_cstr mem (as_int p) in
-      Hashtbl.replace ctx.stats.billing fn
-        (1 + Option.value ~default:0 (Hashtbl.find_opt ctx.stats.billing fn));
-      None
-  | _ -> trap "bad native call %s/%d" name (List.length args)
-
-let native ctx name args =
-  match String.index_opt name '_' with
-  | Some i when String.sub name 0 i <> "quilt" ->
-      let lang = String.sub name 0 i in
-      let suffix = String.sub name (i + 1) (String.length name - i - 1) in
-      if List.mem lang Intrinsics.languages then lang_native ctx lang suffix args
-      else trap "unknown native %s" name
-  | Some _ | None -> shared_native ctx name args
-
-(* --- Core execution --- *)
+let native ctx name args = exec_intrinsic ctx.rc (intern_intrinsic name) args
 
 let eval ctx env v =
   match v with
@@ -279,6 +489,10 @@ let exec_icmp cmp a b =
   in
   VInt (if r then 1L else 0L)
 
+let bump_call_count stats callee =
+  Hashtbl.replace stats.calls callee
+    (1 + Option.value ~default:0 (Hashtbl.find_opt stats.calls callee))
+
 let rec exec_function ctx (f : Ir.func) (args : value list) : value option =
   if Ir.is_declaration f then trap "call to declaration-only @%s" f.Ir.fname;
   let env : (string, value) Hashtbl.t = Hashtbl.create 32 in
@@ -309,7 +523,7 @@ let rec exec_function ctx (f : Ir.func) (args : value list) : value option =
     List.iter
       (fun (i : Ir.instr) ->
         ctx.fuel <- ctx.fuel - 1;
-        ctx.stats.steps <- ctx.stats.steps + 1;
+        ctx.rc.stats.steps <- ctx.rc.stats.steps + 1;
         if ctx.fuel <= 0 then trap "out of fuel";
         match i with
         | Ir.Phi _ -> ()
@@ -318,15 +532,16 @@ let rec exec_function ctx (f : Ir.func) (args : value list) : value option =
         | Ir.Icmp { dst; cmp; lhs; rhs; _ } ->
             Hashtbl.replace env dst (exec_icmp cmp (eval ctx env lhs) (eval ctx env rhs))
         | Ir.Alloca { dst; bytes } ->
-            Hashtbl.replace env dst (VInt (Mem.alloc ctx.mem (Int64.to_int (as_int (eval ctx env bytes)))))
+            Hashtbl.replace env dst
+              (VInt (Mem.alloc ctx.rc.mem (Int64.to_int (as_int (eval ctx env bytes)))))
         | Ir.Load { dst; ty; ptr } ->
             let p = as_int (eval ctx env ptr) in
             let v =
               match ty with
-              | Ir.I8 -> VInt (Int64.of_int (Mem.load_byte ctx.mem p))
-              | Ir.I1 -> VInt (Int64.of_int (Mem.load_byte ctx.mem p land 1))
-              | Ir.I32 | Ir.I64 | Ir.Ptr -> VInt (Mem.load_i64 ctx.mem p)
-              | Ir.F64 -> VFloat (Int64.float_of_bits (Mem.load_i64 ctx.mem p))
+              | Ir.I8 -> VInt (Int64.of_int (Mem.load_byte ctx.rc.mem p))
+              | Ir.I1 -> VInt (Int64.of_int (Mem.load_byte ctx.rc.mem p land 1))
+              | Ir.I32 | Ir.I64 | Ir.Ptr -> VInt (Mem.load_i64 ctx.rc.mem p)
+              | Ir.F64 -> VFloat (Int64.float_of_bits (Mem.load_i64 ctx.rc.mem p))
               | Ir.Void -> trap "load void"
             in
             Hashtbl.replace env dst v
@@ -334,9 +549,9 @@ let rec exec_function ctx (f : Ir.func) (args : value list) : value option =
             let p = as_int (eval ctx env ptr) in
             let v = eval ctx env src in
             match ty with
-            | Ir.I8 | Ir.I1 -> Mem.store_byte ctx.mem p (Int64.to_int (as_int v) land 0xff)
-            | Ir.I32 | Ir.I64 | Ir.Ptr -> Mem.store_i64 ctx.mem p (as_int v)
-            | Ir.F64 -> Mem.store_i64 ctx.mem p (Int64.bits_of_float (as_float v))
+            | Ir.I8 | Ir.I1 -> Mem.store_byte ctx.rc.mem p (Int64.to_int (as_int v) land 0xff)
+            | Ir.I32 | Ir.I64 | Ir.Ptr -> Mem.store_i64 ctx.rc.mem p (as_int v)
+            | Ir.F64 -> Mem.store_i64 ctx.rc.mem p (Int64.bits_of_float (as_float v))
             | Ir.Void -> trap "store void")
         | Ir.Gep { dst; base; offset } ->
             let b = as_int (eval ctx env base) in
@@ -348,10 +563,9 @@ let rec exec_function ctx (f : Ir.func) (args : value list) : value option =
         | Ir.Call { dst; callee; args; _ } -> (
             let argv = List.map (fun (_, v) -> eval ctx env v) args in
             let result =
-              match Ir.find_func ctx.m callee with
+              match ctx.index callee with
               | Some target when not (Ir.is_declaration target) ->
-                  Hashtbl.replace ctx.stats.calls callee
-                    (1 + Option.value ~default:0 (Hashtbl.find_opt ctx.stats.calls callee));
+                  bump_call_count ctx.rc.stats callee;
                   exec_function ctx target argv
               | Some _ | None ->
                   if Intrinsics.mem callee then native ctx callee argv
@@ -380,22 +594,13 @@ let rec exec_function ctx (f : Ir.func) (args : value list) : value option =
 
 let make_ctx ?(fuel = 20_000_000) ~host m =
   let ctx =
-    {
-      m;
-      mem = Mem.create ();
-      stats = new_stats ();
-      host;
-      globals = Hashtbl.create 64;
-      fuel;
-      req_ptr = 0L;
-      response = None;
-    }
+    { m; index = Ir.func_index m; rc = make_rctx ~host (); globals = Hashtbl.create 64; fuel }
   in
   materialize_globals ctx;
   ctx
 
 let find_defined m fname =
-  match Ir.find_func m fname with
+  match Ir.func_index m fname with
   | Some f when not (Ir.is_declaration f) -> f
   | Some _ -> trap "@%s is only declared" fname
   | None -> trap "no function @%s" fname
@@ -404,10 +609,10 @@ let run_handler ?fuel ~host m ~fname ~req =
   try
     let ctx = make_ctx ?fuel ~host m in
     let f = find_defined m fname in
-    ctx.req_ptr <- Mem.write_cstr ctx.mem req;
+    ctx.rc.req_ptr <- Mem.write_cstr ctx.rc.mem req;
     let _ = exec_function ctx f [] in
-    match ctx.response with
-    | Some res -> Ok (res, ctx.stats)
+    match ctx.rc.response with
+    | Some res -> Ok (res, ctx.rc.stats)
     | None -> Error "handler returned without calling quilt_send_res"
   with
   | Trap msg -> Error msg
@@ -417,9 +622,9 @@ let run_local ?fuel ~host m ~fname ~req =
   try
     let ctx = make_ctx ?fuel ~host m in
     let f = find_defined m fname in
-    let reqp = Mem.write_cstr ctx.mem req in
+    let reqp = Mem.write_cstr ctx.rc.mem req in
     match exec_function ctx f [ VInt reqp ] with
-    | Some (VInt resp) -> Ok (Mem.read_cstr ctx.mem resp, ctx.stats)
+    | Some (VInt resp) -> Ok (Mem.read_cstr ctx.rc.mem resp, ctx.rc.stats)
     | Some (VFloat _) | None -> Error "local function did not return a pointer"
   with
   | Trap msg -> Error msg

@@ -59,3 +59,64 @@ val run_local :
   req:string ->
   (string * stats, string) result
 (** Runs a merged local-convention function ([ptr f(ptr)] over C strings). *)
+
+(** {2 Engine internals}
+
+    Shared between this tree-walking engine and the compiled engine
+    ({!Compile} / {!Vm}) so the two cannot drift: one set of intrinsic
+    implementations, one arithmetic, one trap vocabulary.  The
+    differential harness in [test_fuzz.ml] checks the equivalence
+    end-to-end. *)
+
+type value = VInt of int64 | VFloat of float
+
+val as_int : value -> int64
+(** Traps ("expected integer value") on floats. *)
+
+val as_float : value -> float
+(** Traps ("expected float value") on integers. *)
+
+type rctx = {
+  mem : Abi.Mem.t;
+  stats : stats;
+  host : host;
+  mutable req_ptr : int64;
+  mutable response : string option;
+  json_cache : (string, Quilt_util.Json.t * bool) Hashtbl.t;
+      (** Content-keyed parse memo for the json natives; the bool marks
+          strings that are the canonical printing of their value. *)
+}
+(** The per-request runtime core an engine mutates; locals and fuel are
+    engine-private. *)
+
+val make_rctx : ?mem:Abi.Mem.t -> host:host -> unit -> rctx
+(** [?mem] supplies a pre-populated heap (e.g. {!Abi.Mem.restore} of a
+    globals snapshot) instead of a fresh empty one. *)
+
+type shared_op
+type lang_op
+
+type intrinsic =
+  | Sh of shared_op
+  | Ln of Abi.str_abi * lang_op
+  | Unknown_native of string
+  | Bad_native of string
+(** An interned intrinsic identity: language-agnostic platform natives
+    ([Sh]), per-language runtime calls with their string ABI pre-resolved
+    ([Ln]), and the two failure modes kept as data so that executing them
+    reproduces the tree-walker's trap messages exactly. *)
+
+val intern_intrinsic : string -> intrinsic
+(** Total: never raises; unknown names intern to a trapping constructor. *)
+
+val exec_intrinsic : rctx -> intrinsic -> value list -> value option
+(** Runs one native call; [None] is a void return. *)
+
+val exec_binop : Ir.binop -> Ir.ty -> value -> value -> value
+val exec_icmp : Ir.cmp -> value -> value -> value
+
+val bump_call_count : stats -> string -> unit
+(** Increments [stats.calls] for one direct IR call. *)
+
+val trap : ('a, unit, string, 'b) format4 -> 'a
+(** Raises {!Trap} with a formatted message. *)

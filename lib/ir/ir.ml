@@ -46,9 +46,48 @@ type modul = { mname : string; globals : global list; funcs : func list }
 
 let is_declaration f = f.blocks = []
 
-let find_func m name = List.find_opt (fun f -> f.fname = name) m.funcs
+(* Memoized name → definition indexes.  A modul is immutable — every pass
+   builds a new record — so a single-slot cache keyed on physical equality
+   of the [funcs] / [globals] lists is sound; it turns the repeated
+   whole-module name probes of the interpreter, verifier and merge passes
+   from O(|funcs|) scans into O(1) lookups.  The slot is domain-local so
+   the bench harness's multicore fan-out never races on it. *)
+let func_memo : (func list * (string, func) Hashtbl.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let find_global m name = List.find_opt (fun g -> g.gname = name) m.globals
+let global_memo : (global list * (string, global) Hashtbl.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let memo_table slot key ~name ~items =
+  let cell = Domain.DLS.get slot in
+  match !cell with
+  | Some (k, tbl) when k == key -> tbl
+  | _ ->
+      let tbl = Hashtbl.create ((2 * List.length items) + 1) in
+      (* First occurrence wins, matching List.find_opt. *)
+      List.iter (fun x -> if not (Hashtbl.mem tbl (name x)) then Hashtbl.add tbl (name x) x) items;
+      cell := Some (key, tbl);
+      tbl
+
+let func_index m =
+  let tbl = memo_table func_memo m.funcs ~name:(fun f -> f.fname) ~items:m.funcs in
+  fun name -> Hashtbl.find_opt tbl name
+
+let global_index m =
+  let tbl = memo_table global_memo m.globals ~name:(fun g -> g.gname) ~items:m.globals in
+  fun name -> Hashtbl.find_opt tbl name
+
+(* A plain find still short-circuits through the memo when the module's
+   index happens to be warm, without paying to build one. *)
+let find_func m name =
+  match !(Domain.DLS.get func_memo) with
+  | Some (k, tbl) when k == m.funcs -> Hashtbl.find_opt tbl name
+  | _ -> List.find_opt (fun f -> f.fname = name) m.funcs
+
+let find_global m name =
+  match !(Domain.DLS.get global_memo) with
+  | Some (k, tbl) when k == m.globals -> Hashtbl.find_opt tbl name
+  | _ -> List.find_opt (fun g -> g.gname = name) m.globals
 
 let func_names m = List.map (fun f -> f.fname) m.funcs
 

@@ -78,6 +78,15 @@ val is_declaration : func -> bool
 val find_func : modul -> string -> func option
 val find_global : modul -> string -> global option
 
+val func_index : modul -> string -> func option
+(** Like {!find_func} but O(1) per probe: builds (and memoizes, per domain,
+    keyed on the module's physical identity) a hashtable over [m.funcs].
+    Use it whenever many names are resolved against the same module — the
+    interpreter's call dispatch, the verifier, and the merge passes do. *)
+
+val global_index : modul -> string -> global option
+(** O(1) counterpart of {!find_global}; same memoization. *)
+
 val func_names : modul -> string list
 (** Names of all defined and declared functions, definition-order. *)
 

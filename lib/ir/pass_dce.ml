@@ -38,6 +38,9 @@ let referenced_symbols (f : Ir.func) =
   !out
 
 let live_set ~roots (m : Ir.modul) =
+  (* One queue pop per live symbol, one index probe each: the memoized
+     index keeps the worklist linear in module size. *)
+  let fidx = Ir.func_index m in
   let live = Hashtbl.create 64 in
   let queue = Queue.create () in
   List.iter
@@ -49,7 +52,7 @@ let live_set ~roots (m : Ir.modul) =
     roots;
   while not (Queue.is_empty queue) do
     let name = Queue.pop queue in
-    match Ir.find_func m name with
+    match fidx name with
     | Some f ->
         List.iter
           (fun s ->

@@ -130,8 +130,11 @@ let match_site (m : Ir.modul) ~service (i : Ir.instr) =
       in
       match kind with
       | Some (k, lang) when List.mem lang Intrinsics.languages && lang <> "quilt" -> (
-          match Ir.string_global m g with
-          | Some s when s = service -> Some (k, lang, dst, req)
+          (* Probed for every call instruction of every function: the
+             memoized index keeps this O(1) instead of scanning the global
+             list per site. *)
+          match Ir.global_index m g with
+          | Some { Ir.ginit = Ir.Gstr s; _ } when s = service -> Some (k, lang, dst, req)
           | Some _ | None -> None)
       | Some _ | None -> None)
   | _ -> None
@@ -337,10 +340,18 @@ let rewrite_call_sites (m : Ir.modul) ~service ~local_name ~callee_lang ~mode ~r
   in
   let m = { !module_ref with Ir.funcs } in
   (* Shim functions were added to module_ref during rewriting, but [funcs]
-     was computed from the same list; re-add any shims missing. *)
+     was computed from the same list; re-add any shims missing.  A seen-set
+     keeps this linear instead of re-scanning the accumulator per shim. *)
   let m =
+    let have = Hashtbl.create (2 * List.length m.Ir.funcs) in
+    List.iter (fun (f : Ir.func) -> Hashtbl.replace have f.Ir.fname ()) m.Ir.funcs;
     List.fold_left
-      (fun acc (f : Ir.func) -> if Ir.find_func acc f.Ir.fname = None then Ir.add_func acc f else acc)
+      (fun acc (f : Ir.func) ->
+        if Hashtbl.mem have f.Ir.fname then acc
+        else begin
+          Hashtbl.replace have f.Ir.fname ();
+          Ir.add_func acc f
+        end)
       m !module_ref.Ir.funcs
   in
   (* Declare counters. *)

@@ -43,13 +43,17 @@ let rename_symbols ~map (m : Ir.modul) =
 
 let avoid_collisions ~against ~keep (m : Ir.modul) =
   let table = Hashtbl.create 16 in
-  let collides name = Ir.find_func against name <> None || Ir.find_global against name <> None in
+  (* Every symbol of [m] is probed against [against] (and, on collision,
+     against [m] itself): memoized indexes make the pass linear. *)
+  let against_f = Ir.func_index against and against_g = Ir.global_index against in
+  let m_f = Ir.func_index m and m_g = Ir.global_index m in
+  let collides name = against_f name <> None || against_g name <> None in
   let note name =
     if (not (keep name)) && collides name && not (Hashtbl.mem table name) then begin
       let renamed = Ir.fresh_name ~prefix:(name ^ ".q") against in
       (* Also avoid names used inside this module. *)
       let rec uniquify cand i =
-        if Ir.find_func m cand <> None || Ir.find_global m cand <> None then
+        if m_f cand <> None || m_g cand <> None then
           uniquify (Printf.sprintf "%s.q%d" name i) (i + 1)
         else cand
       in

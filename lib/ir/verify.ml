@@ -3,6 +3,10 @@ type diagnostic = { where : string; message : string }
 let diag where fmt = Printf.ksprintf (fun message -> { where; message }) fmt
 
 let check_func (m : Ir.modul) (f : Ir.func) =
+  (* Memoized per-module indexes: O(1) per name probe across the many
+     call-sites and global references a merged module accumulates. *)
+  let fidx = Ir.func_index m in
+  let gidx = Ir.global_index m in
   let out = ref [] in
   let add d = out := d :: !out in
   let where = f.Ir.fname in
@@ -44,7 +48,7 @@ let check_func (m : Ir.modul) (f : Ir.func) =
     match v with
     | Ir.Local l -> if not (Hashtbl.mem locals l) then add (diag where "use of undefined local %%%s" l)
     | Ir.Const (Ir.Cglobal g) ->
-        if Ir.find_global m g = None && Ir.find_func m g = None then
+        if gidx g = None && fidx g = None then
           add (diag where "reference to undefined global @%s" g)
     | Ir.Const (Ir.Cint _ | Ir.Cfloat _ | Ir.Cnull) -> ()
   in
@@ -62,7 +66,7 @@ let check_func (m : Ir.modul) (f : Ir.func) =
           | Ir.Call { callee; args; ret; _ } ->
               List.iter (fun (_, v) -> check_value v) args;
               let known_sig =
-                match Ir.find_func m callee with
+                match fidx callee with
                 | Some target ->
                     Some (List.map snd target.Ir.params, target.Ir.ret_ty)
                 | None -> Intrinsics.signature callee

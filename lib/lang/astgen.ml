@@ -1,0 +1,124 @@
+(* Random well-typed workflow generator (seeded, deterministic).
+
+   Lives in the library rather than the test tree so that both the fuzzing
+   suites (pipeline soundness, engine differential testing) and the bench
+   harness's fuzz corpus draw from the same distribution. *)
+
+module Rng = Quilt_util.Rng
+
+type genv = {
+  rng : Rng.t;
+  vars : (string * Ast.vty) list;
+  callees : string list;
+  mutable calls_left : int;
+  mutable fresh : int;
+}
+
+let fresh_var env prefix =
+  env.fresh <- env.fresh + 1;
+  Printf.sprintf "%s%d" prefix env.fresh
+
+let keys = [ "data"; "k"; "v"; "payload" ]
+
+let pick_key env = Rng.pick env.rng keys
+
+let rec gen_int env depth : Ast.expr =
+  let leaf () =
+    match Rng.int env.rng 3 with
+    | 0 -> Ast.Int_lit (Rng.int_in env.rng (-20) 20)
+    | 1 -> (
+        match List.filter (fun (_, t) -> t = Ast.Tint) env.vars with
+        | [] -> Ast.Int_lit (Rng.int_in env.rng 0 9)
+        | vars -> Ast.Var (fst (Rng.pick env.rng vars)))
+    | _ -> Ast.Json_get_int (gen_str env 0, pick_key env)
+  in
+  if depth <= 0 then leaf ()
+  else begin
+    match Rng.int env.rng 6 with
+    | 0 ->
+        let op = Rng.pick env.rng [ Ast.Add; Ast.Sub; Ast.Mul ] in
+        Ast.Arith (op, gen_int env (depth - 1), gen_int env (depth - 1))
+    | 1 ->
+        (* Division/modulo by a guaranteed non-zero literal. *)
+        let op = Rng.pick env.rng [ Ast.Div; Ast.Mod ] in
+        Ast.Arith (op, gen_int env (depth - 1), Ast.Int_lit (1 + Rng.int env.rng 7))
+    | 2 ->
+        let op = Rng.pick env.rng [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Eq; Ast.Ne ] in
+        Ast.Cmp (op, gen_int env (depth - 1), gen_int env (depth - 1))
+    | 3 -> Ast.If (gen_int env (depth - 1), gen_int env (depth - 1), gen_int env (depth - 1))
+    | 4 -> Ast.Atoi (gen_str env (depth - 1))
+    | _ -> leaf ()
+  end
+
+and gen_str env depth : Ast.expr =
+  let leaf () =
+    match Rng.int env.rng 3 with
+    | 0 -> Ast.Str_lit (Rng.pick env.rng [ "a"; "xyz"; ""; "quilt"; "42" ])
+    | 1 -> (
+        match List.filter (fun (_, t) -> t = Ast.Tstr) env.vars with
+        | [] -> Ast.Str_lit "fallback"
+        | vars -> Ast.Var (fst (Rng.pick env.rng vars)))
+    | _ -> Ast.Json_empty
+  in
+  if depth <= 0 then leaf ()
+  else begin
+    match Rng.int env.rng 8 with
+    | 0 -> Ast.Concat (gen_str env (depth - 1), gen_str env (depth - 1))
+    | 1 -> Ast.Itoa (gen_int env (depth - 1))
+    | 2 -> Ast.Json_set_str (Ast.Json_empty, pick_key env, gen_str env (depth - 1))
+    | 3 -> Ast.Json_set_int (Ast.Json_empty, pick_key env, gen_int env (depth - 1))
+    | 4 ->
+        let v = fresh_var env "s" in
+        Ast.Let (v, gen_str env (depth - 1), gen_str_with env (v, Ast.Tstr) (depth - 1))
+    | 5 -> Ast.If (gen_int env (depth - 1), gen_str env (depth - 1), gen_str env (depth - 1))
+    | 6 when env.callees <> [] && env.calls_left > 0 -> (
+        env.calls_left <- env.calls_left - 1;
+        let callee = Rng.pick env.rng env.callees in
+        let payload = Ast.Json_set_str (Ast.Json_empty, "data", gen_str env (depth - 1)) in
+        match Rng.int env.rng 3 with
+        | 0 -> Ast.Invoke (callee, payload)
+        | 1 ->
+            let f = fresh_var env "f" in
+            Ast.Let (f, Ast.Invoke_async (callee, payload), Ast.Wait (Ast.Var f))
+        | _ ->
+            (* A small spawn-all/join-all fan-out. *)
+            Ast.Fan_out_all { callee; count = Ast.Int_lit (Rng.int_in env.rng 0 3) })
+    | _ -> leaf ()
+  end
+
+and gen_str_with env binding depth =
+  let env = { env with vars = binding :: env.vars } in
+  gen_str env depth
+
+(* A random workflow: a DAG of [k] functions where fi may call fj for j > i
+   (guaranteeing acyclicity and reachability via a spine). *)
+let gen_workflow seed =
+  let rng = Rng.create seed in
+  let k = Rng.int_in rng 2 5 in
+  let names = List.init k (fun i -> Printf.sprintf "fz%d" i) in
+  let fns =
+    List.mapi
+      (fun i name ->
+        let callees = List.filteri (fun j _ -> j > i) names in
+        (* A spine call to the next function keeps everything reachable. *)
+        let spine =
+          match callees with
+          | next :: _ ->
+              Some (Ast.Invoke (next, Ast.Json_set_str (Ast.Json_empty, "data", Ast.Str_lit "spine")))
+          | [] -> None
+        in
+        let env = { rng; vars = [ ("req", Ast.Tstr) ]; callees; calls_left = 2; fresh = 0 } in
+        let body = gen_str env 3 in
+        let body =
+          match spine with
+          | Some call ->
+              Ast.Json_set_str (Ast.Json_set_raw (Ast.Json_empty, "spine", call), "out", body)
+          | None -> Ast.Json_set_str (Ast.Json_empty, "out", body)
+        in
+        let lang = Rng.pick rng Quilt_ir.Intrinsics.languages in
+        { Ast.fn_name = name; fn_lang = lang; mergeable = true; body })
+      names
+  in
+  (names, fns)
+
+let lookup_for fns svc = List.find (fun f -> f.Ast.fn_name = svc) fns

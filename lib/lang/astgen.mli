@@ -1,0 +1,17 @@
+(** Seeded random generator of well-typed workflows.
+
+    Used by the fuzz suites (pipeline soundness in [test_fuzz.ml], the
+    tree-walker/QVM differential harness) and by the [ir] bench's fuzz
+    corpus, so that tests and measurements sample the same distribution.
+    The same seed always yields the same workflow. *)
+
+val gen_workflow : int -> string list * Ast.fn list
+(** [gen_workflow seed] is a connected rDAG of 2–5 functions with random
+    languages and random (but type-correct) bodies: arithmetic, JSON
+    field access, string building, and sync / async / fan-out invocations
+    of later members.  Every generated function passes {!Ast.check_fn}. *)
+
+val lookup_for : Ast.fn list -> string -> Ast.fn
+(** Resolver over a generated function list, shaped for
+    [Pipeline.merge_group]'s [lookup].  Raises [Not_found] on unknown
+    names. *)

@@ -9,6 +9,7 @@ type report = {
   removed_symbols : int;
   languages : string list;
   merged_module : Ir.modul;
+  entry : string;
 }
 
 let entry_handler root = Ast.handler_symbol root
@@ -81,7 +82,9 @@ let merge_group ~lookup ~members ~root ?(edge_mode = fun ~caller:_ ~callee:_ -> 
       if callee <> root then begin
         (* Step ①: compile, unless the code is already in the module (§5.4). *)
         let handler = Ast.handler_symbol callee in
-        if Ir.find_func !merged handler = None then begin
+        (* func_index both answers the probe and warms the memo the rename
+           and merge passes hit on this same module value. *)
+        if Ir.func_index !merged handler = None then begin
           let callee_module = Frontend.compile (lookup callee) in
           (* Step ②: RenameFunc. *)
           let callee_module =
@@ -92,7 +95,7 @@ let merge_group ~lookup ~members ~root ?(edge_mode = fun ~caller:_ ~callee:_ -> 
         end;
         (* Step ④: MergeFunc. *)
         let local_name = Ast.local_symbol callee in
-        if Ir.find_func !merged local_name = None then
+        if Ir.func_index !merged local_name = None then
           merged := Pass_mergefunc.localize_handler !merged ~handler ~local_name;
         let callee_lang = (lookup callee).Ast.fn_lang in
         let mode ~caller =
@@ -154,4 +157,8 @@ let merge_group ~lookup ~members ~root ?(edge_mode = fun ~caller:_ ~callee:_ -> 
     removed_symbols = before - after;
     languages = Ir.langs !merged;
     merged_module = !merged;
+    entry = root_handler;
   }
+
+let validate ?fuel ~host report ~req =
+  Vm.run_handler_auto ?fuel ~host report.merged_module ~fname:report.entry ~req

@@ -22,6 +22,7 @@ type report = {
   removed_symbols : int;  (** Symbols stripped by the final DCE. *)
   languages : string list;  (** Distinct source languages in the result. *)
   merged_module : Quilt_ir.Ir.modul;
+  entry : string;  (** The entry handler symbol, [entry_handler root]. *)
 }
 
 val merge_group :
@@ -41,3 +42,13 @@ val merge_group :
 
 val entry_handler : string -> string
 (** Symbol of the merged module's entry point (the root's handler). *)
+
+val validate :
+  ?fuel:int ->
+  host:Quilt_ir.Interp.host ->
+  report ->
+  req:string ->
+  (string * Quilt_ir.Interp.stats, string) result
+(** Executes the merged module's entry handler on one request, on the
+    default engine: the {!Quilt_ir.Vm} compiled engine, or the tree-walker
+    when the [QUILT_TREEWALK] environment variable is set. *)

@@ -58,10 +58,14 @@ let peak_mem_mb n =
   List.fold_left (fun acc p -> match p with Mem mb -> acc +. mb | _ -> acc) 0.0 n.phases
 
 let functions n =
-  let seen = ref [] in
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
   let rec visit n =
-    if not (List.mem n.fn !seen) then seen := n.fn :: !seen;
+    if not (Hashtbl.mem seen n.fn) then begin
+      Hashtbl.add seen n.fn ();
+      order := n.fn :: !order
+    end;
     List.iter (fun p -> match p with Call { child; _ } -> visit child | _ -> ()) n.phases
   in
   visit n;
-  List.rev !seen
+  List.rev !order

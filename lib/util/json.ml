@@ -11,19 +11,30 @@ exception Parse_error of string
 
 (* --- Printer --- *)
 
+let needs_escape c = c = '"' || c = '\\' || Char.code c < 0x20
+
 let escape_string buf s =
   Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
+  (* Copy maximal clean runs in one blit; most strings have no escapes. *)
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    while !i < n && not (needs_escape (String.unsafe_get s !i)) do
+      incr i
+    done;
+    if !i > start then Buffer.add_substring buf s start (!i - start);
+    if !i < n then begin
+      (match String.unsafe_get s !i with
       | '"' -> Buffer.add_string buf "\\\""
       | '\\' -> Buffer.add_string buf "\\\\"
       | '\n' -> Buffer.add_string buf "\\n"
       | '\r' -> Buffer.add_string buf "\\r"
       | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
+      | c -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c)));
+      incr i
+    end
+  done;
   Buffer.add_char buf '"'
 
 let rec write buf v =
@@ -73,18 +84,23 @@ let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else No
 
 let advance st = st.pos <- st.pos + 1
 
-let rec skip_ws st =
-  match peek st with
-  | Some (' ' | '\t' | '\n' | '\r') ->
-      advance st;
-      skip_ws st
-  | Some _ | None -> ()
+let skip_ws st =
+  let s = st.src in
+  let n = String.length s in
+  let i = ref st.pos in
+  while
+    !i < n && (match String.unsafe_get s !i with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    incr i
+  done;
+  st.pos <- !i
 
 let expect st c =
-  match peek st with
-  | Some c' when c' = c -> advance st
-  | Some c' -> fail st (Printf.sprintf "expected %c, found %c" c c')
-  | None -> fail st (Printf.sprintf "expected %c, found end of input" c)
+  if st.pos < String.length st.src then begin
+    let c' = String.unsafe_get st.src st.pos in
+    if c' = c then st.pos <- st.pos + 1 else fail st (Printf.sprintf "expected %c, found %c" c c')
+  end
+  else fail st (Printf.sprintf "expected %c, found end of input" c)
 
 let parse_hex4 st =
   let v = ref 0 in
@@ -117,38 +133,69 @@ let utf8_of_code buf code =
     Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
   end
 
+(* Scan from [i] to the next quote, backslash, or end of input. *)
+let scan_plain s n i =
+  let j = ref i in
+  while
+    !j < n
+    &&
+    let c = String.unsafe_get s !j in
+    c <> '"' && c <> '\\'
+  do
+    incr j
+  done;
+  !j
+
 let parse_string_body st =
   expect st '"';
-  let buf = Buffer.create 16 in
-  let rec loop () =
-    match peek st with
-    | None -> fail st "unterminated string"
-    | Some '"' ->
-        advance st;
-        Buffer.contents buf
-    | Some '\\' ->
-        advance st;
-        (match peek st with
-        | Some '"' -> Buffer.add_char buf '"'; advance st
-        | Some '\\' -> Buffer.add_char buf '\\'; advance st
-        | Some '/' -> Buffer.add_char buf '/'; advance st
-        | Some 'n' -> Buffer.add_char buf '\n'; advance st
-        | Some 't' -> Buffer.add_char buf '\t'; advance st
-        | Some 'r' -> Buffer.add_char buf '\r'; advance st
-        | Some 'b' -> Buffer.add_char buf '\b'; advance st
-        | Some 'f' -> Buffer.add_char buf '\012'; advance st
-        | Some 'u' ->
-            advance st;
-            utf8_of_code buf (parse_hex4 st)
-        | Some c -> fail st (Printf.sprintf "invalid escape \\%c" c)
-        | None -> fail st "unterminated escape");
-        loop ()
-    | Some c ->
-        Buffer.add_char buf c;
-        advance st;
-        loop ()
-  in
-  loop ()
+  let s = st.src in
+  let n = String.length s in
+  let stop = scan_plain s n st.pos in
+  if stop >= n then begin
+    st.pos <- n;
+    fail st "unterminated string"
+  end
+  else if String.unsafe_get s stop = '"' then begin
+    (* Fast path: no escapes, the body is a direct substring. *)
+    let body = String.sub s st.pos (stop - st.pos) in
+    st.pos <- stop + 1;
+    body
+  end
+  else begin
+    let buf = Buffer.create 16 in
+    Buffer.add_substring buf s st.pos (stop - st.pos);
+    st.pos <- stop;
+    let rec loop () =
+      match peek st with
+      | None -> fail st "unterminated string"
+      | Some '"' ->
+          advance st;
+          Buffer.contents buf
+      | Some '\\' ->
+          advance st;
+          (match peek st with
+          | Some '"' -> Buffer.add_char buf '"'; advance st
+          | Some '\\' -> Buffer.add_char buf '\\'; advance st
+          | Some '/' -> Buffer.add_char buf '/'; advance st
+          | Some 'n' -> Buffer.add_char buf '\n'; advance st
+          | Some 't' -> Buffer.add_char buf '\t'; advance st
+          | Some 'r' -> Buffer.add_char buf '\r'; advance st
+          | Some 'b' -> Buffer.add_char buf '\b'; advance st
+          | Some 'f' -> Buffer.add_char buf '\012'; advance st
+          | Some 'u' ->
+              advance st;
+              utf8_of_code buf (parse_hex4 st)
+          | Some c -> fail st (Printf.sprintf "invalid escape \\%c" c)
+          | None -> fail st "unterminated escape");
+          loop ()
+      | Some _ ->
+          let stop = scan_plain s n st.pos in
+          Buffer.add_substring buf s st.pos (stop - st.pos);
+          st.pos <- stop;
+          loop ()
+    in
+    loop ()
+  end
 
 let parse_literal st lit value =
   let n = String.length lit in
@@ -159,18 +206,22 @@ let parse_literal st lit value =
   else fail st (Printf.sprintf "expected %s" lit)
 
 let parse_number st =
+  let s = st.src in
+  let n = String.length s in
   let start = st.pos in
   let is_float = ref false in
+  let i = ref st.pos in
   let continue = ref true in
-  while !continue do
-    match peek st with
-    | Some ('0' .. '9' | '-' | '+') -> advance st
-    | Some ('.' | 'e' | 'E') ->
+  while !continue && !i < n do
+    match String.unsafe_get s !i with
+    | '0' .. '9' | '-' | '+' -> incr i
+    | '.' | 'e' | 'E' ->
         is_float := true;
-        advance st
-    | Some _ | None -> continue := false
+        incr i
+    | _ -> continue := false
   done;
-  let text = String.sub st.src start (st.pos - start) in
+  st.pos <- !i;
+  let text = String.sub s start (!i - start) in
   if !is_float then
     match float_of_string_opt text with
     | Some f -> Float f
@@ -185,10 +236,10 @@ let parse_number st =
 
 let rec parse_value st =
   skip_ws st;
-  match peek st with
-  | None -> fail st "unexpected end of input"
-  | Some '"' -> String (parse_string_body st)
-  | Some '{' ->
+  match if st.pos < String.length st.src then st.src.[st.pos] else '\000' with
+  | '\000' when st.pos >= String.length st.src -> fail st "unexpected end of input"
+  | '"' -> String (parse_string_body st)
+  | '{' ->
       advance st;
       skip_ws st;
       if peek st = Some '}' then begin
@@ -216,7 +267,7 @@ let rec parse_value st =
         members ();
         Obj (List.rev !fields)
       end
-  | Some '[' ->
+  | '[' ->
       advance st;
       skip_ws st;
       if peek st = Some ']' then begin
@@ -240,11 +291,11 @@ let rec parse_value st =
         elements ();
         List (List.rev !items)
       end
-  | Some 't' -> parse_literal st "true" (Bool true)
-  | Some 'f' -> parse_literal st "false" (Bool false)
-  | Some 'n' -> parse_literal st "null" Null
-  | Some ('-' | '0' .. '9') -> parse_number st
-  | Some c -> fail st (Printf.sprintf "unexpected character %c" c)
+  | 't' -> parse_literal st "true" (Bool true)
+  | 'f' -> parse_literal st "false" (Bool false)
+  | 'n' -> parse_literal st "null" Null
+  | '-' | '0' .. '9' -> parse_number st
+  | c -> fail st (Printf.sprintf "unexpected character %c" c)
 
 let of_string s =
   let st = { src = s; pos = 0 } in

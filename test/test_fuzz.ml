@@ -1,142 +1,28 @@
 (* Pipeline fuzzing: generate random well-typed workflows (random DAG shape,
-   random languages, random bodies), merge them fully, and check that the
-   merged module — executed in the QIR interpreter with a host that rejects
-   network calls — computes exactly what the reference evaluator computes
-   for the distributed workflow.
+   random languages, random bodies; see Quilt_lang.Astgen), merge them
+   fully, and check that the merged module — executed in the QIR
+   interpreter with a host that rejects network calls — computes exactly
+   what the reference evaluator computes for the distributed workflow.
 
    This is the repository's strongest soundness check: it exercises the
    frontends, RenameFunc, the linker's runtime deduplication, MergeFunc's
    localization and shim generation, DelayHTTP, DCE, and the interpreter in
-   one property. *)
+   one property.
+
+   The differential properties at the bottom hold the two execution engines
+   (tree-walker and QVM) to exact observational equivalence: same
+   responses, same trap messages, same stats — including under fuel
+   starvation, where the engines must give out at the same instruction. *)
 
 module Ast = Quilt_lang.Ast
+module Astgen = Quilt_lang.Astgen
 module Eval = Quilt_lang.Eval
 module Pipeline = Quilt_merge.Pipeline
 module Interp = Quilt_ir.Interp
-module Rng = Quilt_util.Rng
+module Vm = Quilt_ir.Vm
 
-(* --- Random well-typed expression generator --- *)
-
-(* Environment: variables in scope with their types; callees available for
-   invocation (with remaining call budget so trees stay small). *)
-type genv = {
-  rng : Rng.t;
-  vars : (string * Ast.vty) list;
-  callees : string list;
-  mutable calls_left : int;
-  mutable fresh : int;
-}
-
-let fresh_var env prefix =
-  env.fresh <- env.fresh + 1;
-  Printf.sprintf "%s%d" prefix env.fresh
-
-let keys = [ "data"; "k"; "v"; "payload" ]
-
-let pick_key env = Rng.pick env.rng keys
-
-let rec gen_int env depth : Ast.expr =
-  let leaf () =
-    match Rng.int env.rng 3 with
-    | 0 -> Ast.Int_lit (Rng.int_in env.rng (-20) 20)
-    | 1 -> (
-        match List.filter (fun (_, t) -> t = Ast.Tint) env.vars with
-        | [] -> Ast.Int_lit (Rng.int_in env.rng 0 9)
-        | vars -> Ast.Var (fst (Rng.pick env.rng vars)))
-    | _ -> Ast.Json_get_int (gen_str env 0, pick_key env)
-  in
-  if depth <= 0 then leaf ()
-  else begin
-    match Rng.int env.rng 6 with
-    | 0 ->
-        let op = Rng.pick env.rng [ Ast.Add; Ast.Sub; Ast.Mul ] in
-        Ast.Arith (op, gen_int env (depth - 1), gen_int env (depth - 1))
-    | 1 ->
-        (* Division/modulo by a guaranteed non-zero literal. *)
-        let op = Rng.pick env.rng [ Ast.Div; Ast.Mod ] in
-        Ast.Arith (op, gen_int env (depth - 1), Ast.Int_lit (1 + Rng.int env.rng 7))
-    | 2 ->
-        let op = Rng.pick env.rng [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Eq; Ast.Ne ] in
-        Ast.Cmp (op, gen_int env (depth - 1), gen_int env (depth - 1))
-    | 3 -> Ast.If (gen_int env (depth - 1), gen_int env (depth - 1), gen_int env (depth - 1))
-    | 4 -> Ast.Atoi (gen_str env (depth - 1))
-    | _ -> leaf ()
-  end
-
-and gen_str env depth : Ast.expr =
-  let leaf () =
-    match Rng.int env.rng 3 with
-    | 0 -> Ast.Str_lit (Rng.pick env.rng [ "a"; "xyz"; ""; "quilt"; "42" ])
-    | 1 -> (
-        match List.filter (fun (_, t) -> t = Ast.Tstr) env.vars with
-        | [] -> Ast.Str_lit "fallback"
-        | vars -> Ast.Var (fst (Rng.pick env.rng vars)))
-    | _ -> Ast.Json_empty
-  in
-  if depth <= 0 then leaf ()
-  else begin
-    match Rng.int env.rng 8 with
-    | 0 -> Ast.Concat (gen_str env (depth - 1), gen_str env (depth - 1))
-    | 1 -> Ast.Itoa (gen_int env (depth - 1))
-    | 2 -> Ast.Json_set_str (Ast.Json_empty, pick_key env, gen_str env (depth - 1))
-    | 3 -> Ast.Json_set_int (Ast.Json_empty, pick_key env, gen_int env (depth - 1))
-    | 4 ->
-        let v = fresh_var env "s" in
-        Ast.Let (v, gen_str env (depth - 1), gen_str_with env (v, Ast.Tstr) (depth - 1))
-    | 5 -> Ast.If (gen_int env (depth - 1), gen_str env (depth - 1), gen_str env (depth - 1))
-    | 6 when env.callees <> [] && env.calls_left > 0 -> (
-        env.calls_left <- env.calls_left - 1;
-        let callee = Rng.pick env.rng env.callees in
-        let payload = Ast.Json_set_str (Ast.Json_empty, "data", gen_str env (depth - 1)) in
-        match Rng.int env.rng 3 with
-        | 0 -> Ast.Invoke (callee, payload)
-        | 1 ->
-            let f = fresh_var env "f" in
-            Ast.Let (f, Ast.Invoke_async (callee, payload), Ast.Wait (Ast.Var f))
-        | _ ->
-            (* A small spawn-all/join-all fan-out. *)
-            Ast.Fan_out_all { callee; count = Ast.Int_lit (Rng.int_in env.rng 0 3) })
-    | _ -> leaf ()
-  end
-
-and gen_str_with env binding depth =
-  let env = { env with vars = binding :: env.vars } in
-  gen_str env depth
-
-(* A random workflow: a DAG of [k] functions where fi may call fj for j > i
-   (guaranteeing acyclicity and reachability via a spine). *)
-let gen_workflow seed =
-  let rng = Rng.create seed in
-  let k = Rng.int_in rng 2 5 in
-  let names = List.init k (fun i -> Printf.sprintf "fz%d" i) in
-  let fns =
-    List.mapi
-      (fun i name ->
-        let callees = List.filteri (fun j _ -> j > i) names in
-        (* A spine call to the next function keeps everything reachable. *)
-        let spine =
-          match callees with
-          | next :: _ ->
-              Some (Ast.Invoke (next, Ast.Json_set_str (Ast.Json_empty, "data", Ast.Str_lit "spine")))
-          | [] -> None
-        in
-        let env =
-          { rng; vars = [ ("req", Ast.Tstr) ]; callees; calls_left = 2; fresh = 0 }
-        in
-        let body = gen_str env 3 in
-        let body =
-          match spine with
-          | Some call ->
-              Ast.Json_set_str (Ast.Json_set_raw (Ast.Json_empty, "spine", call), "out", body)
-          | None -> Ast.Json_set_str (Ast.Json_empty, "out", body)
-        in
-        let lang = Rng.pick rng Quilt_ir.Intrinsics.languages in
-        { Ast.fn_name = name; fn_lang = lang; mergeable = true; body })
-      names
-  in
-  (names, fns)
-
-let lookup_for fns svc = List.find (fun f -> f.Ast.fn_name = svc) fns
+let gen_workflow = Astgen.gen_workflow
+let lookup_for = Astgen.lookup_for
 
 let rec reference fns svc req =
   let invoke ~kind:_ ~name ~req = fst (reference fns name req) in
@@ -256,6 +142,109 @@ let prop_merged_module_text_roundtrip =
       | Ok (got, _) -> got = expected
       | Error _ -> false)
 
+(* --- Differential harness: tree-walker vs QVM --- *)
+
+(* Everything observable about a run, including mutable-hashtable stats
+   flattened into a comparable value.  Engine equivalence means equality on
+   this whole fingerprint, not just on the response. *)
+let fingerprint (s : Interp.stats) =
+  let sorted tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
+  ( s.Interp.steps,
+    s.Interp.cpu_us,
+    s.Interp.io_us,
+    s.Interp.peak_mem_mb,
+    s.Interp.remote_sync,
+    s.Interp.remote_async,
+    s.Interp.curl_loaded,
+    s.Interp.curl_loaded_eagerly,
+    sorted s.Interp.calls,
+    sorted s.Interp.billing )
+
+let outcome = function
+  | Ok (res, stats) -> Ok (res, fingerprint stats)
+  | Error e -> Error e
+
+let same_outcome a b =
+  if a = b then true
+  else begin
+    let show = function
+      | Ok (res, (steps, _, _, _, _, _, _, _, _, _)) ->
+          Printf.sprintf "Ok %s (%d steps)" res steps
+      | Error e -> Printf.sprintf "Error %s" e
+    in
+    QCheck.Test.fail_reportf "engines disagree:\n  treewalk: %s\n  compiled: %s" (show a) (show b)
+  end
+
+let prop_vm_differential_merged =
+  QCheck.Test.make ~name:"fuzz: QVM = tree-walker on merged workflows (response+stats)" ~count:120
+    (QCheck.int_range 1 1_000_000)
+    (fun seed ->
+      let names, fns = gen_workflow seed in
+      let report =
+        Pipeline.merge_group ~lookup:(lookup_for fns) ~members:names ~root:(List.hd names) ()
+      in
+      let m = report.Pipeline.merged_module in
+      let fname = report.Pipeline.entry in
+      let req = Printf.sprintf "{\"data\":\"v%d\",\"k\":%d}" (seed mod 50) (seed mod 17) in
+      let tw = outcome (Interp.run_handler ~host:Interp.null_host m ~fname ~req) in
+      let vm = outcome (Vm.run_handler ~host:Interp.null_host m ~fname ~req) in
+      same_outcome tw vm)
+
+let prop_vm_differential_guarded =
+  QCheck.Test.make
+    ~name:"fuzz: QVM = tree-walker on guarded merges with a live host" ~count:60
+    (QCheck.int_range 1 1_000_000)
+    (fun seed ->
+      let names, fns = gen_workflow seed in
+      let alpha = 1 + (seed mod 3) in
+      let report =
+        Pipeline.merge_group ~lookup:(lookup_for fns) ~members:names ~root:(List.hd names)
+          ~edge_mode:(fun ~caller:_ ~callee:_ -> Pipeline.Guarded alpha)
+          ()
+      in
+      let m = report.Pipeline.merged_module in
+      let fname = report.Pipeline.entry in
+      let req = Printf.sprintf "{\"data\":\"w%d\"}" (seed mod 50) in
+      let host = { Interp.invoke = (fun ~kind:_ ~name ~req -> fst (reference fns name req)) } in
+      let tw = outcome (Interp.run_handler ~host m ~fname ~req) in
+      let vm = outcome (Vm.run_handler ~host m ~fname ~req) in
+      same_outcome tw vm)
+
+let prop_vm_differential_fuel =
+  QCheck.Test.make
+    ~name:"fuzz: QVM = tree-walker under fuel starvation (same trap, same step)" ~count:120
+    (QCheck.int_range 1 1_000_000)
+    (fun seed ->
+      let names, fns = gen_workflow seed in
+      let report =
+        Pipeline.merge_group ~lookup:(lookup_for fns) ~members:names ~root:(List.hd names) ()
+      in
+      let m = report.Pipeline.merged_module in
+      let fname = report.Pipeline.entry in
+      let req = Printf.sprintf "{\"data\":\"f%d\"}" (seed mod 50) in
+      (* A fuel budget somewhere inside the run: both engines must either
+         finish identically or run out at the same instruction count. *)
+      let fuel = 1 + (seed mod 300) in
+      let tw = outcome (Interp.run_handler ~fuel ~host:Interp.null_host m ~fname ~req) in
+      let vm = outcome (Vm.run_handler ~fuel ~host:Interp.null_host m ~fname ~req) in
+      same_outcome tw vm)
+
+let prop_vm_differential_unmerged =
+  QCheck.Test.make
+    ~name:"fuzz: QVM = tree-walker on single-function modules (frontend output)" ~count:120
+    (QCheck.int_range 1 1_000_000)
+    (fun seed ->
+      let _, fns = gen_workflow seed in
+      (* The last member has no callees: its module runs without a live
+         host even before merging. *)
+      let fn = List.nth fns (List.length fns - 1) in
+      let m = Quilt_lang.Frontend.compile fn in
+      let fname = Ast.handler_symbol fn.Ast.fn_name in
+      let req = Printf.sprintf "{\"data\":\"u%d\"}" (seed mod 50) in
+      let tw = outcome (Interp.run_handler ~host:Interp.echo_host m ~fname ~req) in
+      let vm = outcome (Vm.run_handler ~host:Interp.echo_host m ~fname ~req) in
+      same_outcome tw vm)
+
 let suite =
   [
     ( "fuzz.pipeline",
@@ -266,5 +255,12 @@ let suite =
         QCheck_alcotest.to_alcotest prop_merged_module_text_roundtrip;
         QCheck_alcotest.to_alcotest prop_guarded_merge_equals_reference;
         QCheck_alcotest.to_alcotest prop_pipeline_report_covers_members;
+      ] );
+    ( "fuzz.vm-differential",
+      [
+        QCheck_alcotest.to_alcotest prop_vm_differential_merged;
+        QCheck_alcotest.to_alcotest prop_vm_differential_guarded;
+        QCheck_alcotest.to_alcotest prop_vm_differential_fuel;
+        QCheck_alcotest.to_alcotest prop_vm_differential_unmerged;
       ] );
   ]

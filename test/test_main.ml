@@ -13,6 +13,7 @@ let () =
        Test_merge.suite;
        Test_platform.suite;
        Test_fuzz.suite;
+       Test_vm.suite;
        Test_engine.suite;
        Test_apps.suite;
        Test_control.suite;
