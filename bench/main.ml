@@ -17,6 +17,7 @@ let experiments =
     ("fault", Fault.run, "fault injection: availability/goodput under chaos (writes BENCH_fault.json)");
     ("micro", Micro.run, "bechamel micro-benchmarks of the core algorithms");
     ("ir", Ir_bench.run, "tree-walker vs QVM compiled engine (writes BENCH_ir.json)");
+    ("engine", Engine_bench.run, "timer-wheel vs seed-heap simulator throughput + merge cache (writes BENCH_engine.json)");
   ]
 
 let usage () =
@@ -35,6 +36,7 @@ let () =
           Adaptive.smoke_flag := true;
           Fault.smoke_flag := true;
           Ir_bench.smoke_flag := true;
+          Engine_bench.smoke_flag := true;
           false
         end
         else true)

@@ -124,7 +124,33 @@ let bench_cmd async rate duration seed name =
   Printf.printf "  quilt   : median %8.2f ms   p99 %8.2f ms   throughput %7.0f rps\n"
     (Loadgen.median_ms q) (Loadgen.p99_ms q) q.Loadgen.throughput_rps
 
-let adapt_cmd smoke no_controller seed scenario =
+(* --engine-stats: wrap a command body with process-global simulator and
+   merge-cache counters and print an events/sec summary afterwards.  The
+   global counters exist precisely for this: adapt/chaos spin up many
+   engines internally (profiling runs, canaries, matrix arms). *)
+let with_engine_stats enabled f =
+  if not enabled then f ()
+  else begin
+    Engine.reset_global_stats ();
+    Pipeline.reset_cache ();
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let events, peak = Engine.global_stats () in
+    let hits, misses = Pipeline.cache_stats () in
+    Printf.printf "engine stats: %d events in %.2fs wall (%.0f events/s), peak queue depth %d\n"
+      events wall_s
+      (float_of_int events /. Float.max 1e-9 wall_s)
+      peak;
+    let lookups = hits + misses in
+    if lookups = 0 then print_endline "merge cache: no merges performed"
+    else
+      Printf.printf "merge cache: %d/%d hits (%.1f%% hit rate)\n" hits lookups
+        (100.0 *. float_of_int hits /. float_of_int lookups)
+  end
+
+let adapt_cmd smoke no_controller seed engine_stats scenario =
+  with_engine_stats engine_stats @@ fun () ->
   let run wc =
     match Quilt_control.Scenario.run ~smoke ~seed ~with_controller:wc scenario with
     | Ok o -> o
@@ -148,7 +174,8 @@ let adapt_cmd smoke no_controller seed scenario =
     | _ -> ()
   end
 
-let chaos_cmd smoke seed policy_name scenario =
+let chaos_cmd smoke seed engine_stats policy_name scenario =
+  with_engine_stats engine_stats @@ fun () ->
   let module Fs = Quilt_fault.Scenario in
   let module Policy = Quilt_fault.Policy in
   let policy, policy_name =
@@ -220,6 +247,14 @@ let bench_t =
     (Cmd.info "bench" ~doc:"Compare baseline and Quilt deployments under load")
     Term.(const bench_cmd $ async_flag $ rate $ duration $ seed_flag $ workflow_arg)
 
+let engine_stats_flag =
+  Arg.(
+    value & flag
+    & info [ "engine-stats" ]
+        ~doc:
+          "Print simulator throughput (events/sec, peak event-queue depth) and the merge \
+           cache's hit rate after the run.")
+
 let adapt_t =
   let smoke = Arg.(value & flag & info [ "smoke" ] ~doc:"Shrink every phase to a few virtual seconds.") in
   let no_controller =
@@ -235,7 +270,7 @@ let adapt_t =
   in
   Cmd.v
     (Cmd.info "adapt" ~doc:"Run an adaptive scenario under the online control plane")
-    Term.(const adapt_cmd $ smoke $ no_controller $ seed_flag $ scenario)
+    Term.(const adapt_cmd $ smoke $ no_controller $ seed_flag $ engine_stats_flag $ scenario)
 
 let chaos_t =
   let smoke = Arg.(value & flag & info [ "smoke" ] ~doc:"Shrink each run to ~12 virtual seconds.") in
@@ -256,7 +291,7 @@ let chaos_t =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Inject deterministic faults and compare baseline/CM/quilt availability")
-    Term.(const chaos_cmd $ smoke $ seed_flag $ policy $ scenario)
+    Term.(const chaos_cmd $ smoke $ seed_flag $ engine_stats_flag $ policy $ scenario)
 
 let () =
   let doc = "Quilt: resource-aware merging of serverless workflows (SOSP 2025), reproduced in OCaml" in

@@ -28,7 +28,7 @@ let round_solution (p : Lp.problem) x =
   Array.mapi (fun i v -> if p.integer.(i) then Float.round v else v) x
 
 let solve ?(mip_gap = 0.0) ?(node_limit = 200_000) (p : Lp.problem) =
-  let queue : (float, float array * float array) Heap.t = Heap.create () in
+  let queue : (float array * float array) Heap.t = Heap.create () in
   (* Nodes are (lower bounds, upper bounds) boxes keyed by their LP bound. *)
   let incumbent = ref None in
   let incumbent_obj = ref infinity in

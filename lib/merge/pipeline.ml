@@ -51,8 +51,7 @@ let bfs_order ~members ~edges ~root =
     members;
   List.rev !order
 
-let merge_group ~lookup ~members ~root ?(edge_mode = fun ~caller:_ ~callee:_ -> Always_local)
-    ?(billing = false) () =
+let merge_group_uncached ~lookup ~members ~root ~edge_mode ~billing () =
   if not (List.mem root members) then failwith "Pipeline.merge_group: root must be a member";
   let member_set = Hashtbl.create 16 in
   List.iter (fun m -> Hashtbl.replace member_set m ()) members;
@@ -159,6 +158,98 @@ let merge_group ~lookup ~members ~root ?(edge_mode = fun ~caller:_ ~callee:_ -> 
     merged_module = !merged;
     entry = root_handler;
   }
+
+(* --- Content-addressed merge cache ---
+
+   The Controller's drift-triggered re-merges and the bench fan-outs keep
+   recompiling the same groups: between two re-merge decisions the member
+   sources rarely change, and independent seeds of one scenario share every
+   group.  The cache keys a compiled [report] by the {e content} of its
+   inputs — the members' AST digests, the root, the edge-mode decisions
+   evaluated over every ordered member pair, and the billing flag — so a
+   re-merge with unchanged inputs is a table lookup, while any source or
+   guard change misses by construction (no explicit invalidation).  Reports
+   are immutable (every pass returns a fresh module), so sharing the cached
+   value is safe.  A mutex guards the table because bench fan-outs call
+   [merge_group] from a Domain pool; computation happens outside the lock
+   (two domains may race to compute one key — last insert wins). *)
+
+let cache : (string, report) Hashtbl.t = Hashtbl.create 64
+let cache_lock = Mutex.create ()
+let cache_enabled = Atomic.make true
+let cache_hits = Atomic.make 0
+let cache_misses = Atomic.make 0
+
+let set_cache_enabled b = Atomic.set cache_enabled b
+
+let cache_stats () = (Atomic.get cache_hits, Atomic.get cache_misses)
+
+let reset_cache () =
+  Mutex.lock cache_lock;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_lock;
+  Atomic.set cache_hits 0;
+  Atomic.set cache_misses 0
+
+let fn_digest (f : Ast.fn) = Digest.to_hex (Digest.string (Marshal.to_string f []))
+
+let cache_key ~lookup ~members ~root ~edge_mode ~billing =
+  let sorted = List.sort String.compare members in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "root=";
+  Buffer.add_string buf root;
+  Buffer.add_string buf ";billing=";
+  Buffer.add_string buf (if billing then "1" else "0");
+  List.iter
+    (fun m ->
+      Buffer.add_string buf ";fn:";
+      Buffer.add_string buf m;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf (fn_digest (lookup m)))
+    sorted;
+  (* The edge-mode closure is opaque (it captures profiled α values);
+     fingerprint its decisions over every ordered member pair instead. *)
+  List.iter
+    (fun caller ->
+      List.iter
+        (fun callee ->
+          if caller <> callee then begin
+            Buffer.add_string buf ";e:";
+            Buffer.add_string buf caller;
+            Buffer.add_char buf '>';
+            Buffer.add_string buf callee;
+            Buffer.add_char buf '=';
+            match edge_mode ~caller ~callee with
+            | Always_local -> Buffer.add_char buf 'L'
+            | Guarded alpha ->
+                Buffer.add_char buf 'G';
+                Buffer.add_string buf (string_of_int alpha)
+          end)
+        sorted)
+    sorted;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let merge_group ~lookup ~members ~root ?(edge_mode = fun ~caller:_ ~callee:_ -> Always_local)
+    ?(billing = false) () =
+  if not (Atomic.get cache_enabled) then
+    merge_group_uncached ~lookup ~members ~root ~edge_mode ~billing ()
+  else begin
+    let key = cache_key ~lookup ~members ~root ~edge_mode ~billing in
+    Mutex.lock cache_lock;
+    let cached = Hashtbl.find_opt cache key in
+    Mutex.unlock cache_lock;
+    match cached with
+    | Some report ->
+        ignore (Atomic.fetch_and_add cache_hits 1);
+        report
+    | None ->
+        ignore (Atomic.fetch_and_add cache_misses 1);
+        let report = merge_group_uncached ~lookup ~members ~root ~edge_mode ~billing () in
+        Mutex.lock cache_lock;
+        Hashtbl.replace cache key report;
+        Mutex.unlock cache_lock;
+        report
+  end
 
 let validate ?fuel ~host report ~req =
   Vm.run_handler_auto ?fuel ~host report.merged_module ~fname:report.entry ~req

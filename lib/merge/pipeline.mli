@@ -43,6 +43,26 @@ val merge_group :
 val entry_handler : string -> string
 (** Symbol of the merged module's entry point (the root's handler). *)
 
+(** {1 Content-addressed merge cache}
+
+    {!merge_group} memoises compiled groups process-wide, keyed by the
+    content of its inputs: each member's AST digest, the root, the
+    edge-mode decisions over every ordered member pair, and the billing
+    flag.  Drift-triggered re-merges and multi-seed bench fan-outs with
+    unchanged inputs hit the cache; any source or guard change misses by
+    construction, so there is no explicit invalidation.  The table is
+    mutex-guarded (bench fan-outs merge from a Domain pool). *)
+
+val set_cache_enabled : bool -> unit
+(** Default: enabled.  Disabling makes {!merge_group} recompile every call
+    (the before-arm of [bench/main.exe engine], and a debugging aid). *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] since start or the last {!reset_cache}. *)
+
+val reset_cache : unit -> unit
+(** Drops every cached report and zeroes {!cache_stats}. *)
+
 val validate :
   ?fuel:int ->
   host:Quilt_ir.Interp.host ->

@@ -2,7 +2,14 @@ module Ast = Quilt_lang.Ast
 module Eval = Quilt_lang.Eval
 module Trace = Quilt_tracing.Trace
 
-type node = { fn : string; req : string; res : string; phases : phase list }
+type node = {
+  fn : string;
+  req : string;
+  res : string;
+  phases : phase list;
+  own_cpu_us : float;
+  own_mem_mb : float;
+}
 
 and phase =
   | Compute of float
@@ -41,7 +48,19 @@ let rec build (registry : registry) ~entry ~req =
         | Eval.Async_join id -> Join id)
       trace
   in
-  { fn = entry; req; res; phases }
+  (* The engine's per-member billing monitor charges a node's own demand on
+     every completion; summing it once here keeps that path out of the
+     phase list. *)
+  let own_cpu_us, own_mem_mb =
+    List.fold_left
+      (fun (cpu, mem) p ->
+        match p with
+        | Compute us -> (cpu +. us, mem)
+        | Mem mb -> (cpu, mem +. mb)
+        | Io _ | Call _ | Join _ -> (cpu, mem))
+      (0.0, 0.0) phases
+  in
+  { fn = entry; req; res; phases; own_cpu_us; own_mem_mb }
 
 let response n = n.res
 

@@ -12,6 +12,8 @@ type node = {
   req : string;
   res : string;
   phases : phase list;
+  own_cpu_us : float;  (** Σ of this node's own Compute phases. *)
+  own_mem_mb : float;  (** Σ of this node's own Mem phases. *)
 }
 
 and phase =

@@ -1,4 +1,3 @@
-module Heap = Quilt_util.Heap
 module Rng = Quilt_util.Rng
 module Trace = Quilt_tracing.Trace
 
@@ -26,8 +25,10 @@ type container = {
   mutable ready : bool;
   mutable dead : bool;
   mutable compute : seg list;
+  mutable n_compute : int;  (* = List.length compute, maintained incrementally *)
   mutable last_update : float;
   mutable epoch : int;
+  mutable cpu_fn : unit -> unit;  (* preallocated CPU tick, validated by event tag *)
   mutable mem_in_use : float;
   mutable n_tasks : int;
   mutable idle_since : float;
@@ -35,7 +36,13 @@ type container = {
   mutable invocations : int;
   mutable backlog : (unit -> unit) list;  (* tasks waiting for cold start *)
   fail_hooks : (int, unit -> unit) Hashtbl.t;
+  (* In-process per-function monitor for merged/CM containers (§8's billing
+     instrumentation): cumulative modeled CPU / invocations / peak workspace
+     per function executed in this container. *)
+  monitors : (string, monitor_cell) Hashtbl.t;
 }
+
+and monitor_cell = { mutable m_cpu : float; mutable m_inv : int; mutable m_peak : float }
 
 type deployment = {
   mutable dspec : spec;
@@ -44,6 +51,8 @@ type deployment = {
   mutable peak : int;
   mutable draining : bool;  (* re-entrancy guard for drain_queue *)
   waitq : (Calltree.node * (bool -> unit)) Queue.t;
+  members_tbl : (string, unit) Hashtbl.t;  (* interned merge-member set *)
+  mutable scratch : container array;  (* reused alive-pool buffer for pick_container *)
 }
 
 type counters = {
@@ -65,7 +74,8 @@ type t = {
   rng : Rng.t;
   prm : Params.t;
   registry : Calltree.registry;
-  events : (float, unit -> unit) Heap.t;
+  events : (unit -> unit) Sched.t;
+  legacy : bool;  (* Legacy_heap baseline arm: keep the seed's allocating idioms *)
   mutable now_ : float;
   deployments : (string, deployment) Hashtbl.t;
   routes : (string, string) Hashtbl.t;
@@ -79,11 +89,8 @@ type t = {
   mutable c_local : int;
   mutable next_cid : int;
   mutable next_tid : int;
-  ctree_cache : (string * string, Calltree.node) Hashtbl.t;
-  (* In-process per-function monitor for merged/CM containers (§8's billing
-     instrumentation): cumulative modeled CPU / invocations / peak workspace
-     per (container, function). *)
-  monitors : (int * string, monitor_cell) Hashtbl.t;
+  mutable ev_synced : int;  (* pops already folded into the global counters *)
+  ctree_cache : (string, (string, Calltree.node) Hashtbl.t) Hashtbl.t;
   mutable completion_hooks : (entry:string -> latency_us:float -> ok:bool -> unit) list;
   (* --- fault-injection hook points (driven by quilt_fault) --- *)
   mutable net_fault : (caller:string option -> callee:string -> net_verdict) option;
@@ -95,21 +102,46 @@ type t = {
   mutable c_hop_timeout : int;
 }
 
-and monitor_cell = { mutable m_cpu : float; mutable m_inv : int; mutable m_peak : float }
-
-(* Per-request context on the deployment that owns the root task. *)
+(* Per-request context on the deployment that owns the root task.  The
+   guard table only exists for requests that actually hit a guarded edge. *)
 type tctx = {
   tid : int;
   mutable t_failed : bool;
-  guard_counts : (string * string, int ref) Hashtbl.t;
+  mutable guard_counts : (string * string, int ref) Hashtbl.t option;
 }
 
-let create ?(seed = 1) ?(params = Params.default) ~registry () =
+let nop () = ()
+
+(* Process-wide throughput counters: scenario runners build their engines
+   internally, so the CLI's [--engine-stats] reads the aggregate here.
+   Atomics because bench fan-outs drive engines from a Domain pool. *)
+let g_events = Atomic.make 0
+let g_peak_depth = Atomic.make 0
+
+let reset_global_stats () =
+  Atomic.set g_events 0;
+  Atomic.set g_peak_depth 0
+
+let global_stats () = (Atomic.get g_events, Atomic.get g_peak_depth)
+
+let sync_stats sim =
+  let p = Sched.popped_total sim.events in
+  ignore (Atomic.fetch_and_add g_events (p - sim.ev_synced));
+  sim.ev_synced <- p;
+  let pk = Sched.peak_length sim.events in
+  let rec bump () =
+    let cur = Atomic.get g_peak_depth in
+    if pk > cur && not (Atomic.compare_and_set g_peak_depth cur pk) then bump ()
+  in
+  bump ()
+
+let create ?(seed = 1) ?(params = Params.default) ?(sched = Sched.Wheel) ~registry () =
   {
     rng = Rng.create seed;
     prm = params;
     registry;
-    events = Heap.create ();
+    events = Sched.create ~kind:sched ~dummy:nop ();
+    legacy = (match sched with Sched.Legacy_heap -> true | Sched.Wheel -> false);
     now_ = 0.0;
     deployments = Hashtbl.create 32;
     routes = Hashtbl.create 32;
@@ -123,8 +155,8 @@ let create ?(seed = 1) ?(params = Params.default) ~registry () =
     c_local = 0;
     next_cid = 0;
     next_tid = 0;
-    ctree_cache = Hashtbl.create 256;
-    monitors = Hashtbl.create 64;
+    ev_synced = 0;
+    ctree_cache = Hashtbl.create 16;
     completion_hooks = [];
     net_fault = None;
     cpu_fault = None;
@@ -141,14 +173,35 @@ let params sim = sim.prm
 let now sim = sim.now_
 let tracing sim = sim.store
 let set_profiling sim b = sim.profiling <- b
+let sched_kind sim = Sched.kind sim.events
+let events_processed sim = Sched.popped_total sim.events
+let peak_queue_depth sim = Sched.peak_length sim.events
 
-let schedule sim delay thunk =
+let schedule_tag sim delay tag thunk =
   let delay = if delay < 0.0 then 0.0 else delay in
-  Heap.push sim.events (sim.now_ +. delay) thunk
+  Sched.schedule sim.events ~time:(sim.now_ +. delay) ~tag thunk
+
+let schedule sim delay thunk = schedule_tag sim delay 0 thunk
+
+let make_deployment spec =
+  let members_tbl = Hashtbl.create 8 in
+  (match spec.mode with
+  | Plain -> ()
+  | Merged { members; _ } | Container_merge { members; _ } ->
+      List.iter (fun m -> Hashtbl.replace members_tbl m ()) members);
+  {
+    dspec = spec;
+    pool = [];
+    rr = 0;
+    peak = 0;
+    draining = false;
+    waitq = Queue.create ();
+    members_tbl;
+    scratch = [||];
+  }
 
 let deploy sim spec =
-  Hashtbl.replace sim.deployments spec.service
-    { dspec = spec; pool = []; rr = 0; peak = 0; draining = false; waitq = Queue.create () };
+  Hashtbl.replace sim.deployments spec.service (make_deployment spec);
   Hashtbl.replace sim.routes spec.service spec.service
 
 let route sim ~fn ~deployment = Hashtbl.replace sim.routes fn deployment
@@ -189,7 +242,7 @@ let seg_rate sim c n (s : seg) =
   | Some f -> base *. Float.max 1e-3 (Float.min 1.0 (f c.cspec.service))
 
 let settle sim c nowt =
-  let n = List.length c.compute in
+  let n = c.n_compute in
   if n > 0 then begin
     let dt = nowt -. c.last_update in
     if dt > 0.0 then
@@ -202,28 +255,37 @@ let settle sim c nowt =
   end;
   c.last_update <- nowt
 
-let rec reschedule_cpu sim c =
+(* A container's pending CPU tick is identified by its epoch.  In Wheel
+   mode the epoch rides in the event's tag and the preallocated [cpu_fn]
+   compares it against [Sched.last_tag] at dispatch — no per-reschedule
+   closure.  The Legacy_heap arm keeps the seed's idiom: a fresh closure
+   per reschedule capturing the epoch. *)
+let rec cpu_tick sim c =
+  settle sim c sim.now_;
+  let finished, running = List.partition (fun s -> s.remaining <= 1e-6) c.compute in
+  c.compute <- running;
+  c.n_compute <- List.length running;
+  reschedule_cpu sim c;
+  List.iter (fun s -> s.on_finish ()) finished;
+  if finished <> [] then !drain_hook sim c
+
+and reschedule_cpu sim c =
   c.epoch <- c.epoch + 1;
   match c.compute with
   | [] -> ()
   | segs ->
-      let n = List.length segs in
+      let n = c.n_compute in
       let dt =
         List.fold_left
           (fun acc s -> Float.min acc (s.remaining /. seg_rate sim c n s))
           infinity segs
       in
       let dt = Float.max 0.0 dt in
-      let ep = c.epoch in
-      schedule sim dt (fun () ->
-          if (not c.dead) && c.epoch = ep then begin
-            settle sim c sim.now_;
-            let finished, running = List.partition (fun s -> s.remaining <= 1e-6) c.compute in
-            c.compute <- running;
-            reschedule_cpu sim c;
-            List.iter (fun s -> s.on_finish ()) finished;
-            if finished <> [] then !drain_hook sim c
-          end)
+      if sim.legacy then begin
+        let ep = c.epoch in
+        schedule sim dt (fun () -> if (not c.dead) && c.epoch = ep then cpu_tick sim c)
+      end
+      else schedule_tag sim dt c.epoch c.cpu_fn
 
 let add_compute sim c us k =
   if c.dead then ()
@@ -231,6 +293,7 @@ let add_compute sim c us k =
   else begin
     settle sim c sim.now_;
     c.compute <- { remaining = us; big = us >= sim.prm.Params.cfs_big_seg_us; on_finish = k } :: c.compute;
+    c.n_compute <- c.n_compute + 1;
     reschedule_cpu sim c
   end
 
@@ -247,6 +310,7 @@ let kill_impl sim dep c =
   c.dead <- true;
   c.epoch <- c.epoch + 1;
   c.compute <- [];
+  c.n_compute <- 0;
   remove_container dep c;
   let hooks = Hashtbl.fold (fun _ h acc -> h :: acc) c.fail_hooks [] in
   Hashtbl.reset c.fail_hooks;
@@ -283,8 +347,10 @@ let cold_start sim dep =
       ready = false;
       dead = false;
       compute = [];
+      n_compute = 0;
       last_update = sim.now_;
       epoch = 0;
+      cpu_fn = nop;
       mem_in_use = spec.base_mem_mb;
       n_tasks = 0;
       idle_since = sim.now_;
@@ -292,8 +358,11 @@ let cold_start sim dep =
       invocations = 0;
       backlog = [];
       fail_hooks = Hashtbl.create 8;
+      monitors = Hashtbl.create 8;
     }
   in
+  c.cpu_fn <-
+    (fun () -> if (not c.dead) && c.epoch = Sched.last_tag sim.events then cpu_tick sim c);
   dep.pool <- c :: dep.pool;
   if List.length dep.pool > dep.peak then dep.peak <- List.length dep.pool;
   let duration =
@@ -319,10 +388,12 @@ let accepts sim c =
   else if c.n_tasks >= sim.prm.Params.max_tasks_per_container then false
   else begin
     let slots = Float.max 1.0 (c.cspec.vcpus *. sim.prm.Params.utilization_threshold) in
-    float_of_int (List.length c.compute) < slots
+    float_of_int c.n_compute < slots
   end
 
-let pick_container sim dep =
+(* Seed idiom, kept for the Legacy_heap bench arm: a fresh list and a fresh
+   array per dispatch. *)
+let pick_container_legacy sim dep =
   let alive = List.filter (fun c -> not c.dead) dep.pool in
   let n = List.length alive in
   if n = 0 then None
@@ -341,23 +412,73 @@ let pick_container sim dep =
     found
   end
 
+(* Hot path: the alive pool is copied into a per-deployment scratch array
+   that is reused across dispatches, so the round-robin scan allocates
+   nothing.  This replaces the seed's List.filter + Array.of_list pair —
+   an O(pool) allocation per dispatch that turned request dispatch
+   quadratic in pool size under load. *)
+let scratch_put dep n c =
+  if n >= Array.length dep.scratch then begin
+    let na = Array.make (max 8 (2 * (n + 1))) c in
+    Array.blit dep.scratch 0 na 0 n;
+    dep.scratch <- na
+  end;
+  dep.scratch.(n) <- c
+
+let pick_container sim dep =
+  if sim.legacy then pick_container_legacy sim dep
+  else begin
+    let rec fill l n =
+      match l with
+      | [] -> n
+      | c :: tl ->
+          if c.dead then fill tl n
+          else begin
+            scratch_put dep n c;
+            fill tl (n + 1)
+          end
+    in
+    let n = fill dep.pool 0 in
+    if n = 0 then None
+    else begin
+      let rec scan i tries =
+        if tries >= n then None
+        else begin
+          let c = dep.scratch.(i mod n) in
+          if accepts sim c then Some c else scan (i + 1) (tries + 1)
+        end
+      in
+      let found = scan dep.rr 0 in
+      dep.rr <- (dep.rr + 1) mod n;
+      found
+    end
+  end
+
 (* --- Execution --- *)
 
 let call_decision dep tctx ~caller ~callee =
   match dep.dspec.mode with
   | Plain -> `Remote
-  | Merged { members; guard } ->
-      if List.mem callee members then begin
+  | Merged { guard; _ } ->
+      if Hashtbl.mem dep.members_tbl callee then begin
         match guard ~caller ~callee with
         | None -> `Local
         | Some alpha ->
+            let counts =
+              match tctx.guard_counts with
+              | Some h -> h
+              | None ->
+                  let h = Hashtbl.create 4 in
+                  tctx.guard_counts <- Some h;
+                  h
+            in
             let key = (caller, callee) in
             let cnt =
-              match Hashtbl.find_opt tctx.guard_counts key with
+              match Hashtbl.find_opt counts key with
               | Some r -> r
               | None ->
                   let r = ref 0 in
-                  Hashtbl.replace tctx.guard_counts key r;
+                  Hashtbl.replace counts key r;
                   r
             in
             if !cnt < alpha then begin
@@ -367,8 +488,8 @@ let call_decision dep tctx ~caller ~callee =
             else `Remote
       end
       else `Remote
-  | Container_merge { members; member_base_mem } ->
-      if List.mem callee members then `Cm_local (member_base_mem callee) else `Remote
+  | Container_merge { member_base_mem; _ } ->
+      if Hashtbl.mem dep.members_tbl callee then `Cm_local (member_base_mem callee) else `Remote
 
 let record_span sim ~caller ~callee ~kind =
   if sim.profiling then
@@ -405,31 +526,23 @@ let record_resources sim c ~fn =
    container-level counters cannot attribute resources per function.  The
    merged binary's §8 billing instrumentation stands in: on each member
    execution we report the member's modeled demand (its own Compute/Mem
-   phases) as a cumulative per-(container, function) counter series, which
-   the Builder aggregates exactly like cAdvisor samples. *)
+   phases, pre-summed at call-tree build time) as a cumulative
+   per-(container, function) counter series, which the Builder aggregates
+   exactly like cAdvisor samples.  Cells live on the container, keyed by
+   function name — the seed's process-wide (cid, fn)-tuple table cost a
+   tuple allocation per lookup on the completion path. *)
 let record_monitor sim c (node : Calltree.node) =
   if sim.profiling && not c.dead then begin
-    let key = (c.cid, node.Calltree.fn) in
     let cell =
-      match Hashtbl.find_opt sim.monitors key with
-      | Some cell -> cell
-      | None ->
-          let cell = { m_cpu = 0.0; m_inv = 0; m_peak = 0.0 } in
-          Hashtbl.replace sim.monitors key cell;
-          cell
+      try Hashtbl.find c.monitors node.Calltree.fn
+      with Not_found ->
+        let cell = { m_cpu = 0.0; m_inv = 0; m_peak = 0.0 } in
+        Hashtbl.add c.monitors node.Calltree.fn cell;
+        cell
     in
-    let own_cpu, own_mem =
-      List.fold_left
-        (fun (cpu, mem) p ->
-          match p with
-          | Calltree.Compute us -> (cpu +. us, mem)
-          | Calltree.Mem mb -> (cpu, mem +. mb)
-          | _ -> (cpu, mem))
-        (0.0, 0.0) node.Calltree.phases
-    in
-    cell.m_cpu <- cell.m_cpu +. own_cpu;
+    cell.m_cpu <- cell.m_cpu +. node.Calltree.own_cpu_us;
     cell.m_inv <- cell.m_inv + 1;
-    cell.m_peak <- Float.max cell.m_peak (1.0 +. own_mem);
+    cell.m_peak <- Float.max cell.m_peak (1.0 +. node.Calltree.own_mem_mb);
     Trace.record_resource sim.store
       {
         Trace.rs_ts = sim.now_;
@@ -443,8 +556,17 @@ let record_monitor sim c (node : Calltree.node) =
 
 let rec exec_node sim dep c tctx (node : Calltree.node) (k_done : bool -> unit) =
   let held = ref 0.0 in
-  let futures : (int, [ `Ready of bool | `Pending of (bool -> unit) option ref ]) Hashtbl.t =
-    Hashtbl.create 4
+  (* Allocated on the first async call/join; most nodes never need it. *)
+  let futures : (int, [ `Ready of bool | `Pending of (bool -> unit) option ref ]) Hashtbl.t option ref =
+    ref None
+  in
+  let futures_tbl () =
+    match !futures with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 4 in
+        futures := Some h;
+        h
   in
   let finish ok =
     if !held > 0.0 then begin
@@ -460,7 +582,9 @@ let rec exec_node sim dep c tctx (node : Calltree.node) (k_done : bool -> unit) 
       | [] -> finish true
       | p :: rest -> (
           let continue () = go rest in
-          let guarded_continue ok = if ok then continue () else finish false in
+          (* Only the Join/Call branches consume a success flag; keeping
+             the guarded closure out of the Compute/Io/Mem path saves two
+             closure allocations per plain phase. *)
           match p with
           | Calltree.Compute us -> add_compute sim c us continue
           | Calltree.Io us ->
@@ -470,13 +594,16 @@ let rec exec_node sim dep c tctx (node : Calltree.node) (k_done : bool -> unit) 
               if add_mem sim dep c mb then continue ()
               (* on OOM the fail hook has already fired the root failure *)
           | Calltree.Join fid -> (
-              match Hashtbl.find_opt futures fid with
+              let guarded_continue ok = if ok then continue () else finish false in
+              match Hashtbl.find_opt (futures_tbl ()) fid with
               | Some (`Ready ok) -> guarded_continue ok
               | Some (`Pending waiter) ->
                   waiter := Some (fun ok -> if tctx.t_failed || c.dead then finish false else guarded_continue ok)
               | None -> failwith "Engine: join on unknown future")
           | Calltree.Call { kind; future; child } -> (
+              let guarded_continue ok = if ok then continue () else finish false in
               let resolve_future fid ok =
+                let futures = futures_tbl () in
                 match Hashtbl.find_opt futures fid with
                 | Some (`Pending waiter) -> (
                     Hashtbl.replace futures fid (`Ready ok);
@@ -494,7 +621,7 @@ let rec exec_node sim dep c tctx (node : Calltree.node) (k_done : bool -> unit) 
               | `Local, Trace.Async, Some fid ->
                   sim.c_local <- sim.c_local + 1;
                   record_span sim ~caller:(Some node.Calltree.fn) ~callee:child.Calltree.fn ~kind;
-                  Hashtbl.replace futures fid (`Pending (ref None));
+                  Hashtbl.replace (futures_tbl ()) fid (`Pending (ref None));
                   exec_node sim dep c tctx child (fun ok ->
                       record_monitor sim c child;
                       resolve_future fid ok);
@@ -505,7 +632,7 @@ let rec exec_node sim dep c tctx (node : Calltree.node) (k_done : bool -> unit) 
                   cm_exec sim dep c tctx child base guarded_continue
               | `Cm_local base, Trace.Async, Some fid ->
                   record_span sim ~caller:(Some node.Calltree.fn) ~callee:child.Calltree.fn ~kind;
-                  Hashtbl.replace futures fid (`Pending (ref None));
+                  Hashtbl.replace (futures_tbl ()) fid (`Pending (ref None));
                   cm_exec sim dep c tctx child base (fun ok -> resolve_future fid ok);
                   continue ()
               | `Cm_local _, Trace.Async, None -> failwith "Engine: async call without future id"
@@ -514,7 +641,7 @@ let rec exec_node sim dep c tctx (node : Calltree.node) (k_done : bool -> unit) 
                   add_compute sim c sim.prm.Params.rpc_client_cpu_us (fun () ->
                       remote_invoke sim ~caller:(Some node.Calltree.fn) ~kind child guarded_continue)
               | `Remote, Trace.Async, Some fid ->
-                  Hashtbl.replace futures fid (`Pending (ref None));
+                  Hashtbl.replace (futures_tbl ()) fid (`Pending (ref None));
                   add_compute sim c sim.prm.Params.rpc_client_cpu_us (fun () ->
                       remote_invoke sim ~caller:(Some node.Calltree.fn) ~kind child (fun ok ->
                           resolve_future fid ok);
@@ -608,7 +735,7 @@ and try_assign sim dep node k =
 and start_task sim dep c node k =
   sim.next_tid <- sim.next_tid + 1;
   let tid = sim.next_tid in
-  let tctx = { tid; t_failed = false; guard_counts = Hashtbl.create 4 } in
+  let tctx = { tid; t_failed = false; guard_counts = None } in
   let done_once = ref false in
   let k1 ok =
     if not !done_once then begin
@@ -688,9 +815,7 @@ let deploy_rolling sim spec =
   else begin
     sim.next_cid <- sim.next_cid + 1;
     let vname = Printf.sprintf "%s#v%d" spec.service sim.next_cid in
-    let dep =
-      { dspec = spec; pool = []; rr = 0; peak = 0; draining = false; waitq = Queue.create () }
-    in
+    let dep = make_deployment spec in
     Hashtbl.replace sim.deployments vname dep;
     let c = cold_start sim dep in
     (* Flip the route when the pre-warmed container comes up.  cold_start
@@ -705,13 +830,30 @@ let deploy_rolling sim spec =
 
 (* --- Client interface --- *)
 
+(* Two-level cache (entry, then request payload): the seed keyed one table
+   by (entry, req) pairs, allocating a tuple per submit. *)
 let calltree sim ~entry ~req =
-  match Hashtbl.find_opt sim.ctree_cache (entry, req) with
-  | Some n -> n
-  | None ->
-      let n = Calltree.build sim.registry ~entry ~req in
-      Hashtbl.replace sim.ctree_cache (entry, req) n;
-      n
+  let per_entry =
+    try Hashtbl.find sim.ctree_cache entry
+    with Not_found ->
+      let h = Hashtbl.create 16 in
+      Hashtbl.add sim.ctree_cache entry h;
+      h
+  in
+  try Hashtbl.find per_entry req
+  with Not_found ->
+    let n = Calltree.build sim.registry ~entry ~req in
+    Hashtbl.add per_entry req n;
+    n
+
+(* Completion hooks run on every client-visible response; a tail-recursive
+   walk keeps the per-completion path free of iterator closures. *)
+let rec fire_hooks hs ~entry ~latency_us ~ok =
+  match hs with
+  | [] -> ()
+  | h :: tl ->
+      h ~entry ~latency_us ~ok;
+      fire_hooks tl ~entry ~latency_us ~ok
 
 let submit sim ~entry ~req ~on_done =
   let t0 = sim.now_ in
@@ -720,7 +862,7 @@ let submit sim ~entry ~req ~on_done =
   let complete ok =
     if ok then sim.c_done <- sim.c_done + 1 else sim.c_fail <- sim.c_fail + 1;
     let latency_us = sim.now_ -. t0 in
-    List.iter (fun h -> h ~entry ~latency_us ~ok) sim.completion_hooks;
+    fire_hooks sim.completion_hooks ~entry ~latency_us ~ok;
     on_done ~latency_us ~ok
   in
   let leg = Params.remote_leg_us sim.prm ~profiled:sim.profiling ~payload:req in
@@ -745,27 +887,26 @@ let submit sim ~entry ~req ~on_done =
 let run_until sim t =
   let continue = ref true in
   while !continue do
-    match Heap.peek sim.events with
-    | Some (ts, _) when ts <= t -> (
-        match Heap.pop sim.events with
-        | Some (ts, thunk) ->
-            sim.now_ <- Float.max sim.now_ ts;
-            thunk ()
-        | None -> continue := false)
-    | Some _ | None ->
-        sim.now_ <- Float.max sim.now_ t;
-        continue := false
-  done
+    let ts = Sched.next_time sim.events in
+    if ts <= t then begin
+      let thunk = Sched.pop_exn sim.events in
+      sim.now_ <- Float.max sim.now_ (Sched.last_time sim.events);
+      thunk ()
+    end
+    else begin
+      sim.now_ <- Float.max sim.now_ t;
+      continue := false
+    end
+  done;
+  sync_stats sim
 
 let drain sim =
-  let continue = ref true in
-  while !continue do
-    match Heap.pop sim.events with
-    | Some (ts, thunk) ->
-        sim.now_ <- Float.max sim.now_ ts;
-        thunk ()
-    | None -> continue := false
-  done
+  while not (Sched.is_empty sim.events) do
+    let thunk = Sched.pop_exn sim.events in
+    sim.now_ <- Float.max sim.now_ (Sched.last_time sim.events);
+    thunk ()
+  done;
+  sync_stats sim
 
 let counters sim =
   {

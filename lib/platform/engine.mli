@@ -49,7 +49,17 @@ type spec = {
 type t
 
 val create :
-  ?seed:int -> ?params:Params.t -> registry:Calltree.registry -> unit -> t
+  ?seed:int ->
+  ?params:Params.t ->
+  ?sched:Sched.kind ->
+  registry:Calltree.registry ->
+  unit ->
+  t
+(** [sched] selects the event-scheduler implementation: {!Sched.Wheel}
+    (default — the monomorphic timer wheel with an allocation-free hot
+    path) or {!Sched.Legacy_heap} (the seed's generic binary heap, kept as
+    the before-arm of [bench/main.exe engine]).  Both produce bit-identical
+    simulations for equal seeds; only throughput differs. *)
 
 val params : t -> Params.t
 
@@ -115,6 +125,24 @@ type counters = {
 }
 
 val counters : t -> counters
+
+(** {1 Scheduler statistics} *)
+
+val sched_kind : t -> Sched.kind
+
+val events_processed : t -> int
+(** Events dispatched by this engine's scheduler so far. *)
+
+val peak_queue_depth : t -> int
+(** High-water mark of this engine's pending-event queue. *)
+
+val global_stats : unit -> int * int
+(** [(events_processed, peak_queue_depth)] aggregated across every engine
+    in the process (synced at each [run_until]/[drain] exit) — scenario
+    runners create engines internally, so the CLI's [--engine-stats]
+    reads the totals here. *)
+
+val reset_global_stats : unit -> unit
 
 (** {1 Fault-injection hook points}
 

@@ -51,8 +51,19 @@ let finish sim rec_ ~duration_us =
     counters = Engine.counters sim;
   }
 
+(* Progress callbacks fire every [progress_stride] offered requests (a
+   power of two so the check is a mask), not per completion — million-
+   request benches poll a ticker without touching the per-request path. *)
+let progress_stride = 1 lsl 16
+
+let report_progress progress rec_ =
+  match progress with
+  | Some f when rec_.sent > 0 && rec_.sent land (progress_stride - 1) = 0 ->
+      f ~sent:rec_.sent ~completed:(rec_.succ + rec_.fail)
+  | _ -> ()
+
 let run_closed_loop sim ~entry ~gen_req ~connections ~duration_us ?warmup_us ?(think_us = 0.0)
-    ?(seed = 0) () =
+    ?(seed = 0) ?progress () =
   let warmup_us = match warmup_us with Some w -> w | None -> duration_us *. 0.1 in
   let rng = Rng.create (4242 + seed) in
   let rec_ = new_recorder () in
@@ -65,7 +76,8 @@ let run_closed_loop sim ~entry ~gen_req ~connections ~duration_us ?warmup_us ?(t
       let sent_in_window = Engine.now sim >= t_open in
       if sent_in_window then begin
         rec_.sent <- rec_.sent + 1;
-        rec_.in_flight <- rec_.in_flight + 1
+        rec_.in_flight <- rec_.in_flight + 1;
+        report_progress progress rec_
       end;
       Engine.submit sim ~entry ~req ~on_done:(fun ~latency_us ~ok ->
           if sent_in_window then begin
@@ -165,7 +177,8 @@ let run_phased sim ~entry ~phases ?(on_sample = fun ~ts:_ ~latency_us:_ ~ok:_ ~p
   in
   { overall; per_phase }
 
-let run_open_loop sim ~entry ~gen_req ~rate_rps ~duration_us ?warmup_us ?(seed = 0) ?via () =
+let run_open_loop sim ~entry ~gen_req ~rate_rps ~duration_us ?warmup_us ?(seed = 0) ?via
+    ?progress () =
   let warmup_us = match warmup_us with Some w -> w | None -> duration_us *. 0.1 in
   let submit =
     match via with
@@ -185,7 +198,8 @@ let run_open_loop sim ~entry ~gen_req ~rate_rps ~duration_us ?warmup_us ?(seed =
       let in_window = Engine.now sim >= t_open in
       if in_window then begin
         rec_.sent <- rec_.sent + 1;
-        rec_.in_flight <- rec_.in_flight + 1
+        rec_.in_flight <- rec_.in_flight + 1;
+        report_progress progress rec_
       end;
       submit ~entry ~req ~on_done:(fun ~latency_us ~ok ->
           if in_window then begin

@@ -37,12 +37,15 @@ val run_closed_loop :
   ?warmup_us:float ->
   ?think_us:float ->
   ?seed:int ->
+  ?progress:(sent:int -> completed:int -> unit) ->
   unit ->
   result
 (** [warmup_us] defaults to 10% of the duration; [think_us] (delay between
     a response and the connection's next request) defaults to 0.  [seed]
     (default 0) perturbs the generator's RNG streams; 0 reproduces the
-    historical fixed seeds exactly. *)
+    historical fixed seeds exactly.  [progress] fires every 65536 offered
+    requests (not per request — the hot path only pays a mask test), so
+    million-request benches can print a ticker. *)
 
 val run_open_loop :
   Engine.t ->
@@ -57,6 +60,7 @@ val run_open_loop :
     req:string ->
     on_done:(latency_us:float -> ok:bool -> unit) ->
     unit) ->
+  ?progress:(sent:int -> completed:int -> unit) ->
   unit ->
   result
 (** Poisson arrivals.  Requests still in flight when the window closes are
@@ -64,7 +68,9 @@ val run_open_loop :
     [seed] (default 0) perturbs the RNG streams.  [via] replaces the direct
     {!Engine.submit} with a custom submission path — the fault-injection
     gateway ({!Quilt_fault.Policy}) interposes retries/hedging here.  The
-    override must eventually call [on_done] exactly once per request. *)
+    override must eventually call [on_done] exactly once per request.
+    [progress] fires every 65536 offered requests, as in
+    {!run_closed_loop}. *)
 
 type phase = {
   ph_name : string;

@@ -1,0 +1,468 @@
+type kind = Wheel | Legacy_heap
+
+(* --- The seed event queue, kept verbatim as the baseline arm ---
+
+   A faithful copy of the original `Quilt_util.Heap`: generic priority
+   type, so [<] compiles to polymorphic compare, and one entry record
+   allocated per push.  `bench/main.exe engine` runs the simulator over
+   this heap as the "before" arm, and the qcheck parity harness checks the
+   wheel pops in exactly this order.  (The tag field is new — it rides in
+   the entry so both arms expose the same API — and does not change the
+   compare path or the allocation count.) *)
+module Legacy = struct
+  type ('p, 'a) entry = { prio : 'p; seq : int; tag : int; value : 'a }
+
+  type ('p, 'a) t = {
+    mutable data : ('p, 'a) entry array;
+    mutable size : int;
+    mutable next_seq : int;
+  }
+
+  let create () = { data = [||]; size = 0; next_seq = 0 }
+
+  let length h = h.size
+
+  (* Generic [<]: this is the polymorphic-compare cost the wheel removes. *)
+  let lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+  let grow h e =
+    let cap = Array.length h.data in
+    if h.size = cap then begin
+      let ncap = if cap = 0 then 16 else cap * 2 in
+      let nd = Array.make ncap e in
+      Array.blit h.data 0 nd 0 h.size;
+      h.data <- nd
+    end
+
+  let push h prio tag value =
+    let e = { prio; seq = h.next_seq; tag; value } in
+    h.next_seq <- h.next_seq + 1;
+    grow h e;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    h.data.(!i) <- e;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if lt h.data.(!i) h.data.(parent) then begin
+        let tmp = h.data.(parent) in
+        h.data.(parent) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := parent
+      end
+      else continue := false
+    done
+
+  let sift_down h =
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && lt h.data.(l) h.data.(!smallest) then smallest := l;
+      if r < h.size && lt h.data.(r) h.data.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = h.data.(!smallest) in
+        h.data.(!smallest) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.data.(0) <- h.data.(h.size);
+        sift_down h
+      end;
+      Some top
+    end
+
+  let peek h = if h.size = 0 then None else Some h.data.(0)
+end
+
+(* --- Timer wheel --- *)
+
+type 'a wheel = {
+  granularity : float;  (* bucket width in µs *)
+  slots : int;  (* power of two *)
+  mask : int;
+  buckets : int array;  (* slot -> head event id, -1 when empty *)
+  occ : int array;  (* occupancy bitmap, 32 slots per word *)
+  mutable cur : int;  (* absolute bucket index of the cursor *)
+  mutable wcount : int;  (* events currently parked in wheel buckets *)
+  (* Event records: structure-of-arrays, indexed by event id.  ev_time is a
+     flat float array (unboxed), ev_next doubles as the bucket chain link
+     and the freelist link. *)
+  mutable ev_time : float array;
+  mutable ev_seq : int array;
+  mutable ev_tag : int array;
+  mutable ev_next : int array;
+  mutable ev_payload : 'a array;
+  dummy : 'a;
+  mutable free_head : int;
+  (* Due heap: ids of events at or before the cursor, ordered (time, seq).
+     Every event passes through here, which restores the exact global pop
+     order of a single binary heap. *)
+  mutable due : int array;
+  mutable due_len : int;
+  (* Overflow heap: ids of events beyond the wheel window, same order. *)
+  mutable ovf : int array;
+  mutable ovf_len : int;
+  mutable len : int;
+  mutable next_seq : int;
+  mutable w_scheduled : int;
+  mutable w_popped : int;
+  mutable w_peak : int;
+  mutable w_last_time : float;
+  mutable w_last_tag : int;
+}
+
+type 'a legacy = {
+  lh : (float, 'a) Legacy.t;
+  mutable l_scheduled : int;
+  mutable l_popped : int;
+  mutable l_peak : int;
+  mutable l_last_time : float;
+  mutable l_last_tag : int;
+}
+
+type 'a t = W of 'a wheel | L of 'a legacy
+
+let create ?(kind = Wheel) ?(slot_bits = 12) ?(granularity_us = 256.0) ~dummy () =
+  match kind with
+  | Legacy_heap ->
+      L { lh = Legacy.create (); l_scheduled = 0; l_popped = 0; l_peak = 0;
+          l_last_time = 0.0; l_last_tag = 0 }
+  | Wheel ->
+      let slot_bits = max 5 (min 20 slot_bits) in
+      let slots = 1 lsl slot_bits in
+      if granularity_us <= 0.0 then invalid_arg "Sched.create: granularity must be positive";
+      W
+        {
+          granularity = granularity_us;
+          slots;
+          mask = slots - 1;
+          buckets = Array.make slots (-1);
+          occ = Array.make (slots lsr 5) 0;
+          cur = 0;
+          wcount = 0;
+          ev_time = [||];
+          ev_seq = [||];
+          ev_tag = [||];
+          ev_next = [||];
+          ev_payload = [||];
+          dummy;
+          free_head = -1;
+          due = Array.make 64 (-1);
+          due_len = 0;
+          ovf = Array.make 64 (-1);
+          ovf_len = 0;
+          len = 0;
+          next_seq = 0;
+          w_scheduled = 0;
+          w_popped = 0;
+          w_peak = 0;
+          w_last_time = 0.0;
+          w_last_tag = 0;
+        }
+
+let kind = function W _ -> Wheel | L _ -> Legacy_heap
+
+let length = function W w -> w.len | L l -> Legacy.length l.lh
+
+let is_empty t = length t = 0
+
+(* --- wheel internals --- *)
+
+let occ_set w s = w.occ.(s lsr 5) <- w.occ.(s lsr 5) lor (1 lsl (s land 31))
+
+let occ_clear w s = w.occ.(s lsr 5) <- w.occ.(s lsr 5) land lnot (1 lsl (s land 31))
+
+let lowest_bit_index v =
+  let v = v land -v in
+  let i = ref 0 in
+  let x = ref v in
+  while !x land 1 = 0 do
+    incr i;
+    x := !x lsr 1
+  done;
+  !i
+
+(* Absolute bucket index of an occupied slot: the unique value ≡ s
+   (mod slots) in (cur, cur + slots] — every parked event lives in that
+   window, so the mapping is exact. *)
+let abs_of_slot w s =
+  let cs = w.cur land w.mask in
+  let d = (s - cs + w.slots) land w.mask in
+  w.cur + (if d = 0 then w.slots else d)
+
+(* Next occupied absolute bucket index strictly after the cursor, or
+   max_int when no events are parked in the wheel.  Scans the occupancy
+   bitmap word-wise in circular slot order starting just past the cursor;
+   a wrapped word's low bits map behind the high bits of earlier words
+   only for the starting word, whose high bits were already checked. *)
+let next_occupied w =
+  if w.wcount = 0 then max_int
+  else begin
+    let words = w.slots lsr 5 in
+    let start = (w.cur + 1) land w.mask in
+    let rec scan wi remaining mask =
+      if remaining <= 0 then max_int
+      else begin
+        let v = w.occ.(wi) land mask in
+        if v <> 0 then abs_of_slot w ((wi lsl 5) lor lowest_bit_index v)
+        else scan ((wi + 1) mod words) (remaining - 32) (-1)
+      end
+    in
+    scan (start lsr 5) (w.slots + 32) ((-1) lsl (start land 31))
+  end
+
+let bucket_index w time =
+  let i = int_of_float (time /. w.granularity) in
+  if i < 0 then 0 else i
+
+let ev_lt w a b =
+  let ta = w.ev_time.(a) and tb = w.ev_time.(b) in
+  ta < tb || (ta = tb && w.ev_seq.(a) < w.ev_seq.(b))
+
+(* Due and overflow heaps: binary min-heaps of event ids keyed by
+   (time, seq) out of the SoA records.  Two hand-specialised copies so the
+   hot loops touch only int and unboxed-float arrays. *)
+
+let due_push w id =
+  if w.due_len = Array.length w.due then begin
+    let nd = Array.make (2 * Array.length w.due) (-1) in
+    Array.blit w.due 0 nd 0 w.due_len;
+    w.due <- nd
+  end;
+  let i = ref w.due_len in
+  w.due_len <- w.due_len + 1;
+  w.due.(!i) <- id;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if ev_lt w w.due.(!i) w.due.(parent) then begin
+      let tmp = w.due.(parent) in
+      w.due.(parent) <- w.due.(!i);
+      w.due.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let due_pop w =
+  let top = w.due.(0) in
+  w.due_len <- w.due_len - 1;
+  if w.due_len > 0 then begin
+    w.due.(0) <- w.due.(w.due_len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < w.due_len && ev_lt w w.due.(l) w.due.(!smallest) then smallest := l;
+      if r < w.due_len && ev_lt w w.due.(r) w.due.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = w.due.(!smallest) in
+        w.due.(!smallest) <- w.due.(!i);
+        w.due.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end;
+  top
+
+let ovf_push w id =
+  if w.ovf_len = Array.length w.ovf then begin
+    let nd = Array.make (2 * Array.length w.ovf) (-1) in
+    Array.blit w.ovf 0 nd 0 w.ovf_len;
+    w.ovf <- nd
+  end;
+  let i = ref w.ovf_len in
+  w.ovf_len <- w.ovf_len + 1;
+  w.ovf.(!i) <- id;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if ev_lt w w.ovf.(!i) w.ovf.(parent) then begin
+      let tmp = w.ovf.(parent) in
+      w.ovf.(parent) <- w.ovf.(!i);
+      w.ovf.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let ovf_pop w =
+  let top = w.ovf.(0) in
+  w.ovf_len <- w.ovf_len - 1;
+  if w.ovf_len > 0 then begin
+    w.ovf.(0) <- w.ovf.(w.ovf_len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < w.ovf_len && ev_lt w w.ovf.(l) w.ovf.(!smallest) then smallest := l;
+      if r < w.ovf_len && ev_lt w w.ovf.(r) w.ovf.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = w.ovf.(!smallest) in
+        w.ovf.(!smallest) <- w.ovf.(!i);
+        w.ovf.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end;
+  top
+
+(* --- freelist --- *)
+
+let grow_events w =
+  let cap = Array.length w.ev_time in
+  let ncap = if cap = 0 then 256 else cap * 2 in
+  let nt = Array.make ncap 0.0 in
+  let ns = Array.make ncap 0 in
+  let ng = Array.make ncap 0 in
+  let nn = Array.make ncap (-1) in
+  let np = Array.make ncap w.dummy in
+  Array.blit w.ev_time 0 nt 0 cap;
+  Array.blit w.ev_seq 0 ns 0 cap;
+  Array.blit w.ev_tag 0 ng 0 cap;
+  Array.blit w.ev_next 0 nn 0 cap;
+  Array.blit w.ev_payload 0 np 0 cap;
+  w.ev_time <- nt;
+  w.ev_seq <- ns;
+  w.ev_tag <- ng;
+  w.ev_next <- nn;
+  w.ev_payload <- np;
+  for i = cap to ncap - 2 do
+    nn.(i) <- i + 1
+  done;
+  nn.(ncap - 1) <- w.free_head;
+  w.free_head <- cap
+
+let alloc w =
+  if w.free_head < 0 then grow_events w;
+  let id = w.free_head in
+  w.free_head <- w.ev_next.(id);
+  id
+
+let release w id =
+  w.ev_payload.(id) <- w.dummy;
+  w.ev_next.(id) <- w.free_head;
+  w.free_head <- id
+
+(* --- wheel operations --- *)
+
+let w_schedule w ~time ~tag payload =
+  let time = if time < 0.0 then 0.0 else time in
+  let id = alloc w in
+  w.ev_time.(id) <- time;
+  w.ev_seq.(id) <- w.next_seq;
+  w.next_seq <- w.next_seq + 1;
+  w.ev_tag.(id) <- tag;
+  w.ev_payload.(id) <- payload;
+  w.len <- w.len + 1;
+  w.w_scheduled <- w.w_scheduled + 1;
+  if w.len > w.w_peak then w.w_peak <- w.len;
+  let idx = bucket_index w time in
+  if idx <= w.cur then due_push w id
+  else if idx - w.cur <= w.slots then begin
+    let s = idx land w.mask in
+    w.ev_next.(id) <- w.buckets.(s);
+    w.buckets.(s) <- id;
+    occ_set w s;
+    w.wcount <- w.wcount + 1
+  end
+  else ovf_push w id
+
+(* Refill the due heap: advance the cursor to the earliest pending bucket
+   (wheel or overflow) and drain everything at that index.  Returns false
+   only when the scheduler is empty.  Every advance lands on an occupied
+   index, so no event is ever skipped and pops stay globally ordered. *)
+let ensure_due w =
+  if w.due_len > 0 then true
+  else if w.len = 0 then false
+  else begin
+    let nw = next_occupied w in
+    let ov = if w.ovf_len = 0 then max_int else bucket_index w w.ev_time.(w.ovf.(0)) in
+    let target = if nw < ov then nw else ov in
+    w.cur <- target;
+    let s = target land w.mask in
+    let rec drain id =
+      if id >= 0 then begin
+        let nx = w.ev_next.(id) in
+        due_push w id;
+        w.wcount <- w.wcount - 1;
+        drain nx
+      end
+    in
+    if w.buckets.(s) >= 0 then begin
+      drain w.buckets.(s);
+      w.buckets.(s) <- -1;
+      occ_clear w s
+    end;
+    while w.ovf_len > 0 && bucket_index w w.ev_time.(w.ovf.(0)) <= w.cur do
+      due_push w (ovf_pop w)
+    done;
+    true
+  end
+
+let next_time t =
+  match t with
+  | W w -> if ensure_due w then w.ev_time.(w.due.(0)) else infinity
+  | L l -> ( match Legacy.peek l.lh with Some e -> e.Legacy.prio | None -> infinity)
+
+let schedule t ~time ~tag payload =
+  match t with
+  | W w -> w_schedule w ~time ~tag payload
+  | L l ->
+      let time = if time < 0.0 then 0.0 else time in
+      Legacy.push l.lh time tag payload;
+      l.l_scheduled <- l.l_scheduled + 1;
+      if Legacy.length l.lh > l.l_peak then l.l_peak <- Legacy.length l.lh
+
+let pop_exn t =
+  match t with
+  | W w ->
+      if not (ensure_due w) then raise Not_found;
+      let id = due_pop w in
+      w.len <- w.len - 1;
+      w.w_popped <- w.w_popped + 1;
+      w.w_last_time <- w.ev_time.(id);
+      w.w_last_tag <- w.ev_tag.(id);
+      let p = w.ev_payload.(id) in
+      release w id;
+      p
+  | L l -> (
+      match Legacy.pop l.lh with
+      | None -> raise Not_found
+      | Some e ->
+          l.l_popped <- l.l_popped + 1;
+          l.l_last_time <- e.Legacy.prio;
+          l.l_last_tag <- e.Legacy.tag;
+          e.Legacy.value)
+
+let last_time = function W w -> w.w_last_time | L l -> l.l_last_time
+
+let last_tag = function W w -> w.w_last_tag | L l -> l.l_last_tag
+
+let pop t =
+  if is_empty t then None
+  else begin
+    let p = pop_exn t in
+    Some (last_time t, last_tag t, p)
+  end
+
+let scheduled_total = function W w -> w.w_scheduled | L l -> l.l_scheduled
+
+let popped_total = function W w -> w.w_popped | L l -> l.l_popped
+
+let peak_length = function W w -> w.w_peak | L l -> l.l_peak

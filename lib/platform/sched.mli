@@ -1,0 +1,74 @@
+(** The simulator's event scheduler: a monomorphic float-keyed timer wheel.
+
+    The discrete-event engine used to pump every event through a generic
+    binary heap whose [<] compiled to polymorphic compare, allocating an
+    entry record per event — fine for thousands of requests, hostile to
+    million-request runs.  This module replaces it with:
+
+    - a single-level timer wheel of [2^slot_bits] buckets of
+      [granularity_us] µs each (window ≈ [2^slot_bits × granularity_us]),
+      with O(1) insertion for near-future events;
+    - an overflow heap for events beyond the wheel window, cascaded back
+      into the wheel as the cursor advances;
+    - a due heap ordered by (time, seq) holding the events of the bucket
+      under the cursor, which restores the exact global pop order;
+    - preallocated event records in a structure-of-arrays freelist (times
+      in an unboxed float array), so the steady-state hot path allocates
+      nothing.
+
+    Pop order is exactly nondecreasing (time, seq) with [seq] assigned at
+    schedule time — bit-identical to the seed binary heap, FIFO on ties.
+    The {!Legacy_heap} kind keeps a faithful copy of that seed heap
+    (polymorphic compare, one allocated entry per event) as the before-arm
+    of [bench/main.exe engine] and as the parity-test reference.
+
+    Every event carries an integer [tag].  The engine stores a container's
+    CPU epoch there, which replaces the seed's invalidate-by-reschedule
+    closures: a stale tick is recognised by comparing the popped event's
+    tag against the container's current epoch, with no per-reschedule
+    closure allocation.  {!last_time} and {!last_tag} describe the most
+    recently popped event and stay valid until the next pop. *)
+
+type kind = Wheel | Legacy_heap
+
+type 'a t
+
+val create :
+  ?kind:kind -> ?slot_bits:int -> ?granularity_us:float -> dummy:'a -> unit -> 'a t
+(** [dummy] fills freed payload slots so the scheduler never pins dead
+    events for the GC.  Defaults: [Wheel], [slot_bits = 12] (4096 slots),
+    [granularity_us = 256.0] (≈1.05 s window). *)
+
+val kind : 'a t -> kind
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val schedule : 'a t -> time:float -> tag:int -> 'a -> unit
+(** Absolute event time; times must be ≥ 0 (the engine clamps delays). *)
+
+val next_time : 'a t -> float
+(** Time of the earliest pending event, [infinity] when empty.  May
+    advance the wheel cursor internally; observable order is unaffected. *)
+
+val pop_exn : 'a t -> 'a
+(** Removes and returns the earliest event's payload (FIFO on equal
+    times); sets {!last_time}/{!last_tag}.  Raises [Not_found] when empty.
+    Allocation-free in [Wheel] mode. *)
+
+val pop : 'a t -> (float * int * 'a) option
+(** Convenience wrapper over {!pop_exn}: [(time, tag, payload)]. *)
+
+val last_time : 'a t -> float
+
+val last_tag : 'a t -> int
+
+val scheduled_total : 'a t -> int
+(** Events accepted over the scheduler's lifetime. *)
+
+val popped_total : 'a t -> int
+(** Events dispatched over the scheduler's lifetime. *)
+
+val peak_length : 'a t -> int
+(** High-water mark of pending events (queue depth). *)

@@ -1,7 +1,7 @@
-type ('p, 'a) entry = { prio : 'p; seq : int; value : 'a }
+type 'a entry = { prio : float; seq : int; value : 'a }
 
-type ('p, 'a) t = {
-  mutable data : ('p, 'a) entry array;
+type 'a t = {
+  mutable data : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
 }
@@ -12,6 +12,8 @@ let length h = h.size
 
 let is_empty h = h.size = 0
 
+(* Monomorphic float compare: the generic [<] here used to go through
+   polymorphic compare on every sift step, which dominated deep queues. *)
 let lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
 
 let grow h e =

@@ -1,25 +1,27 @@
-(** Binary min-heap with a polymorphic priority.
+(** Binary min-heap with a monomorphic [float] priority.
 
-    Used as the event queue of the discrete-event simulator and as a general
-    priority queue in the decision algorithms.  Priorities compare with
-    [compare] on the priority type; ties break by insertion order so the
-    simulator is deterministic. *)
+    Used as a general float-keyed priority queue (branch-and-bound bounds,
+    decision algorithms).  Priorities compare with the native float [<], so
+    no polymorphic-compare call sits on the pop path; ties break by
+    insertion order so drains are deterministic.  The simulator's event
+    queue moved to the timer-wheel scheduler ([Quilt_platform.Sched]),
+    which keeps this heap as its parity reference. *)
 
-type ('p, 'a) t
+type 'a t
 
-val create : unit -> ('p, 'a) t
+val create : unit -> 'a t
 
-val length : ('p, 'a) t -> int
+val length : 'a t -> int
 
-val is_empty : ('p, 'a) t -> bool
+val is_empty : 'a t -> bool
 
-val push : ('p, 'a) t -> 'p -> 'a -> unit
+val push : 'a t -> float -> 'a -> unit
 (** [push h prio v] inserts [v] with priority [prio]. *)
 
-val pop : ('p, 'a) t -> ('p * 'a) option
+val pop : 'a t -> (float * 'a) option
 (** Removes and returns the minimum element, [None] when empty. *)
 
-val peek : ('p, 'a) t -> ('p * 'a) option
+val peek : 'a t -> (float * 'a) option
 (** Returns the minimum element without removing it. *)
 
-val clear : ('p, 'a) t -> unit
+val clear : 'a t -> unit

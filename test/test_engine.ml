@@ -311,6 +311,57 @@ let test_simulation_is_deterministic () =
   let a = run () and b = run () in
   Alcotest.(check bool) "bit-identical reruns" true (a = b)
 
+(* The Legacy_heap scheduler IS the seed event queue (a faithful copy);
+   an entire simulation must come out bit-identical on either scheduler:
+   same completions, same latency distribution (exact float equality),
+   same virtual clock, same counters.  This is the engine-level face of
+   the sched.parity qcheck harness. *)
+let test_wheel_and_legacy_heap_bit_identical () =
+  let module Rng = Quilt_util.Rng in
+  let run sched =
+    let engine = Engine.create ~sched ~registry:(Workflow.registry [ dial_wf ]) () in
+    deploy_dial ~vcpus:1.0 ~max_scale:4 engine;
+    let r =
+      Loadgen.run_open_loop engine ~entry:"dial"
+        ~gen_req:(fun rng ->
+          req ~cpu:(200 + Rng.int rng 3000) ~io:(Rng.int rng 5000) ~mem:(Rng.int rng 8))
+        ~rate_rps:400.0 ~duration_us:4_000_000.0 ()
+    in
+    ( ( r.Loadgen.successes,
+        r.Loadgen.failures,
+        r.Loadgen.offered,
+        r.Loadgen.throughput_rps ),
+      (Loadgen.median_ms r, Loadgen.p99_ms r, Loadgen.mean_ms r),
+      Engine.counters engine,
+      Engine.now engine )
+  in
+  let a = run Quilt_platform.Sched.Wheel in
+  let b = run Quilt_platform.Sched.Legacy_heap in
+  Alcotest.(check bool) "bit-identical across schedulers" true (a = b)
+
+(* Same property through the full optimize/apply path: a merged deployment
+   (guards, local calls, per-member monitors) behaves identically on both
+   schedulers and across reruns of the same seed. *)
+let test_sched_parity_through_merge_path () =
+  let run sched =
+    let wfs = Quilt_apps.Deathstar.social_network ~async:false () in
+    let compose = List.find (fun w -> w.Workflow.wf_name = "compose-post") wfs in
+    let engine = Quilt.fresh_platform ~seed:23 ~sched ~workflows:[ compose ] () in
+    let r =
+      Loadgen.run_open_loop engine ~entry:"compose-post" ~gen_req:compose.Workflow.gen_req
+        ~rate_rps:150.0 ~duration_us:3_000_000.0 ~warmup_us:500_000.0 ()
+    in
+    ( r.Loadgen.successes,
+      r.Loadgen.offered,
+      Loadgen.median_ms r,
+      Loadgen.p99_ms r,
+      Engine.counters engine,
+      Engine.now engine )
+  in
+  let a = run Quilt_platform.Sched.Wheel in
+  let b = run Quilt_platform.Sched.Legacy_heap in
+  Alcotest.(check bool) "merge path bit-identical across schedulers" true (a = b)
+
 (* --- Tracing builder details --- *)
 
 let test_builder_async_edge_kind () =
@@ -462,6 +513,12 @@ let suite =
         Alcotest.test_case "think time" `Quick test_closed_loop_think_time;
         Alcotest.test_case "open loop rate" `Quick test_open_loop_rate_respected;
         Alcotest.test_case "deterministic" `Quick test_simulation_is_deterministic;
+      ] );
+    ( "engine.sched",
+      [
+        Alcotest.test_case "wheel = legacy heap, bit-identical" `Quick
+          test_wheel_and_legacy_heap_bit_identical;
+        Alcotest.test_case "parity through merge path" `Quick test_sched_parity_through_merge_path;
       ] );
     ( "engine.failures",
       [

@@ -14,6 +14,7 @@ let () =
        Test_platform.suite;
        Test_fuzz.suite;
        Test_vm.suite;
+       Test_sched.suite;
        Test_engine.suite;
        Test_apps.suite;
        Test_control.suite;

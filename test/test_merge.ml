@@ -418,6 +418,61 @@ let test_sizes_breakdown_sums () =
   let parts = List.fold_left (fun a (_, v) -> a +. v) 0.0 (Sizes.breakdown m) in
   Alcotest.(check (float 1e-9)) "breakdown sums to total" total parts
 
+(* --- content-addressed merge cache --- *)
+
+(* Identical inputs (same member ASTs, root, edge modes, billing) must hit;
+   the key sorts members, so member-list order is irrelevant. *)
+let test_cache_hit_on_identical_inputs () =
+  Pipeline.reset_cache ();
+  let fns = [ front "rust"; middle "rust"; leaf "rust" ] in
+  let r1 = merge fns ~members:[ "middle"; "leaf" ] ~root:"middle" () in
+  Alcotest.(check (pair int int)) "first merge misses" (0, 1) (Pipeline.cache_stats ());
+  let r2 = merge fns ~members:[ "middle"; "leaf" ] ~root:"middle" () in
+  Alcotest.(check (pair int int)) "second merge hits" (1, 1) (Pipeline.cache_stats ());
+  Alcotest.(check bool) "the report is shared, not recompiled" true (r1 == r2);
+  ignore (merge fns ~members:[ "leaf"; "middle" ] ~root:"middle" ());
+  Alcotest.(check (pair int int)) "member order irrelevant" (2, 1) (Pipeline.cache_stats ())
+
+(* Content addressing invalidates by construction: change a member's source
+   and the digest — hence the key — changes. *)
+let test_cache_miss_on_changed_source () =
+  Pipeline.reset_cache ();
+  let fns = [ front "rust"; middle "rust"; leaf "rust" ] in
+  ignore (merge fns ~members:[ "middle"; "leaf" ] ~root:"middle" ());
+  let fns' = [ front "rust"; middle "rust"; leaf "go" ] in
+  ignore (merge fns' ~members:[ "middle"; "leaf" ] ~root:"middle" ());
+  Alcotest.(check (pair int int)) "changed member source misses" (0, 2) (Pipeline.cache_stats ());
+  ignore (merge fns' ~members:[ "middle"; "leaf" ] ~root:"middle" ());
+  Alcotest.(check (pair int int)) "then hits on repeat" (1, 2) (Pipeline.cache_stats ())
+
+(* Guard decisions are part of the key: a re-profile that changes an α must
+   recompile, an unchanged α must not. *)
+let test_cache_keyed_by_edge_mode () =
+  Pipeline.reset_cache ();
+  let fns = [ front "rust"; middle "rust"; leaf "rust" ] in
+  let guarded alpha ~caller:_ ~callee:_ = Pipeline.Guarded alpha in
+  ignore (merge fns ~members:[ "middle"; "leaf" ] ~root:"middle" ());
+  ignore (merge fns ~members:[ "middle"; "leaf" ] ~root:"middle" ~edge_mode:(guarded 2) ());
+  ignore (merge fns ~members:[ "middle"; "leaf" ] ~root:"middle" ~edge_mode:(guarded 3) ());
+  Alcotest.(check (pair int int)) "distinct guards are distinct keys" (0, 3) (Pipeline.cache_stats ());
+  ignore (merge fns ~members:[ "middle"; "leaf" ] ~root:"middle" ~edge_mode:(guarded 2) ());
+  Alcotest.(check (pair int int)) "same guard hits" (1, 3) (Pipeline.cache_stats ())
+
+let test_cache_disabled_bypasses () =
+  Pipeline.reset_cache ();
+  Pipeline.set_cache_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Pipeline.set_cache_enabled true)
+    (fun () ->
+      let fns = [ front "rust"; middle "rust"; leaf "rust" ] in
+      let r1 = merge fns ~members:[ "middle"; "leaf" ] ~root:"middle" () in
+      let r2 = merge fns ~members:[ "middle"; "leaf" ] ~root:"middle" () in
+      Alcotest.(check (pair int int)) "no cache traffic" (0, 0) (Pipeline.cache_stats ());
+      Alcotest.(check bool) "recompiled" true (r1 != r2);
+      let out1, _ = run_merged r1 ~root:"middle" ~req:"{\"x\":5}" ~host:Interp.null_host in
+      let out2, _ = run_merged r2 ~root:"middle" ~req:"{\"x\":5}" ~host:Interp.null_host in
+      Alcotest.(check string) "identical results either way" out1 out2)
+
 let suite =
   [
     ( "merge.pipeline",
@@ -447,6 +502,13 @@ let suite =
       [
         Alcotest.test_case "counts per function" `Quick test_billing_counts_per_function;
         Alcotest.test_case "off by default" `Quick test_billing_off_by_default;
+      ] );
+    ( "merge.cache",
+      [
+        Alcotest.test_case "hit on identical inputs" `Quick test_cache_hit_on_identical_inputs;
+        Alcotest.test_case "miss on changed source" `Quick test_cache_miss_on_changed_source;
+        Alcotest.test_case "keyed by edge mode" `Quick test_cache_keyed_by_edge_mode;
+        Alcotest.test_case "disabled bypasses" `Quick test_cache_disabled_bypasses;
       ] );
     ( "merge.sizes",
       [

@@ -138,7 +138,7 @@ let test_rng_shuffle_permutes () =
 let test_heap_ordering () =
   let h = Heap.create () in
   let r = Rng.create 11 in
-  let items = List.init 500 (fun _ -> Rng.int r 1000) in
+  let items = List.init 500 (fun _ -> float_of_int (Rng.int r 1000)) in
   List.iter (fun p -> Heap.push h p p) items;
   let rec drain acc =
     match Heap.pop h with
@@ -146,35 +146,35 @@ let test_heap_ordering () =
     | Some (p, _) -> drain (p :: acc)
   in
   let out = drain [] in
-  Alcotest.(check (list int)) "sorted" (List.sort compare items) out
+  Alcotest.(check (list (float 0.0))) "sorted" (List.sort compare items) out
 
 let test_heap_fifo_ties () =
   let h = Heap.create () in
-  Heap.push h 1 "a";
-  Heap.push h 1 "b";
-  Heap.push h 1 "c";
+  Heap.push h 1.0 "a";
+  Heap.push h 1.0 "b";
+  Heap.push h 1.0 "c";
   let got = List.init 3 (fun _ -> match Heap.pop h with Some (_, v) -> v | None -> "?") in
   Alcotest.(check (list string)) "insertion order on ties" [ "a"; "b"; "c" ] got
 
 let test_heap_empty () =
-  let h : (int, unit) Heap.t = Heap.create () in
+  let h : unit Heap.t = Heap.create () in
   Alcotest.(check bool) "empty" true (Heap.is_empty h);
   Alcotest.(check bool) "pop none" true (Heap.pop h = None);
   Alcotest.(check bool) "peek none" true (Heap.peek h = None)
 
 let test_heap_clear () =
   let h = Heap.create () in
-  Heap.push h 1 "a";
+  Heap.push h 1.0 "a";
   Heap.clear h;
   Alcotest.(check bool) "empty after clear" true (Heap.is_empty h);
-  Heap.push h 2 "b";
-  Alcotest.(check bool) "usable after clear" true (Heap.pop h = Some (2, "b"))
+  Heap.push h 2.0 "b";
+  Alcotest.(check bool) "usable after clear" true (Heap.pop h = Some (2.0, "b"))
 
 let test_heap_peek_stable () =
   let h = Heap.create () in
-  Heap.push h 5 "x";
-  Heap.push h 2 "y";
-  Alcotest.(check bool) "peek min" true (Heap.peek h = Some (2, "y"));
+  Heap.push h 5.0 "x";
+  Heap.push h 2.0 "y";
+  Alcotest.(check bool) "peek min" true (Heap.peek h = Some (2.0, "y"));
   Alcotest.(check int) "length" 2 (Heap.length h)
 
 let prop_heap_sorts =
@@ -182,6 +182,7 @@ let prop_heap_sorts =
   Test.make ~name:"heap drains in sorted order" ~count:200
     (list (int_range (-1000) 1000))
     (fun items ->
+      let items = List.map float_of_int items in
       let h = Heap.create () in
       List.iter (fun p -> Heap.push h p ()) items;
       let rec drain acc = match Heap.pop h with None -> List.rev acc | Some (p, ()) -> drain (p :: acc) in
