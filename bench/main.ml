@@ -18,6 +18,7 @@ let experiments =
     ("micro", Micro.run, "bechamel micro-benchmarks of the core algorithms");
     ("ir", Ir_bench.run, "tree-walker vs QVM compiled engine (writes BENCH_ir.json)");
     ("engine", Engine_bench.run, "timer-wheel vs seed-heap simulator throughput + merge cache (writes BENCH_engine.json)");
+    ("place", Place.run, "flat vs topology-aware placement + joint merge decision (writes BENCH_place.json)");
   ]
 
 let usage () =
@@ -37,6 +38,7 @@ let () =
           Fault.smoke_flag := true;
           Ir_bench.smoke_flag := true;
           Engine_bench.smoke_flag := true;
+          Place.smoke_flag := true;
           false
         end
         else true)

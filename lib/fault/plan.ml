@@ -16,6 +16,7 @@ type fault =
   | Net_drop of { src : string; dst : string; p : float; duration_us : float }
   | Cpu_degrade of { fn : string; factor : float; duration_us : float }
   | Image_cache_flush of { pull_factor : float; duration_us : float }
+  | Kill_node of { node : int }
 
 type event = { at_us : float; fault : fault }
 
@@ -32,6 +33,7 @@ let fault_name = function
   | Net_drop _ -> "net-drop"
   | Cpu_degrade _ -> "cpu-degrade"
   | Image_cache_flush _ -> "image-cache-flush"
+  | Kill_node _ -> "kill-node"
 
 (* One network perturbation, pre-registered at arm time so a single engine
    hook can compose every rule; activation just flips the flag. *)
@@ -59,7 +61,34 @@ let record a fmt =
 
 let trace a = List.rev a.a_trace
 
-let matches pat name = String.equal pat "*" || String.equal pat name
+(* Beyond exact names and "*", patterns of the form "node:N" / "rack:R"
+   match services by where the engine's cluster topology hosts them, so a
+   chaos plan can slow or partition a whole rack.  Precedence (pinned by
+   test_fault.ml): exact name first — a deployment literally named
+   "node:1" is matched by that pattern wherever it runs — then "*", then
+   the location forms.  The ingress pseudo-endpoint "client" is outside
+   the cluster and never matches a location pattern; on a flat engine the
+   location forms match nothing. *)
+let loc_pat pat =
+  let parse prefix =
+    let pl = String.length prefix in
+    if String.length pat > pl && String.equal (String.sub pat 0 pl) prefix then
+      int_of_string_opt (String.sub pat pl (String.length pat - pl))
+    else None
+  in
+  match parse "node:" with
+  | Some n -> Some (`Node n)
+  | None -> ( match parse "rack:" with Some r -> Some (`Rack r) | None -> None)
+
+let matches engine pat name =
+  String.equal pat name || String.equal pat "*"
+  || (not (String.equal name "client"))
+     &&
+     match loc_pat pat with
+     | Some (`Node n) -> Engine.node_of_service engine name = Some n
+     | Some (`Rack r) -> Engine.rack_of_service engine name = Some r
+     | None -> false
+
 let caller_name = function None -> "client" | Some c -> c
 
 (* The composed network hook.  Installed once per armed plan (when the plan
@@ -75,7 +104,11 @@ let install_net a =
          let drop = ref false in
          List.iter
            (fun r ->
-             if r.nr_active && matches r.nr_src cname && matches r.nr_dst callee then
+             if
+               r.nr_active
+               && matches a.a_engine r.nr_src cname
+               && matches a.a_engine r.nr_dst callee
+             then
                match r.nr_kind with
                | `Delay (d, j) ->
                    let jit = if j > 0.0 then Rng.float a.a_rng (2.0 *. j) -. j else 0.0 in
@@ -95,7 +128,7 @@ let refresh_cpu a =
       (Some
          (fun fn ->
            List.fold_left
-             (fun acc (pat, f) -> if matches pat fn then acc *. f else acc)
+             (fun acc (pat, f) -> if matches a.a_engine pat fn then acc *. f else acc)
              1.0 snapshot))
   end
 
@@ -156,6 +189,9 @@ let apply a ev =
             Engine.set_cold_pull_factor a.a_engine 1.0;
             record a "image cache warm again"
           end)
+  | Kill_node { node } ->
+      let killed = Engine.kill_node a.a_engine ~node in
+      record a "kill-node %d: %d containers" node killed
   | Net_delay _ | Net_drop _ ->
       (* Handled by the rule activations scheduled in [arm]. *)
       ()

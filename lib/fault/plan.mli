@@ -21,8 +21,11 @@ type fault =
           pushed past their limit OOM-kill, survivors recover after
           [duration_us]. *)
   | Net_delay of {
-      src : string;  (** Caller pattern; ["*"] any, ["client"] the ingress. *)
-      dst : string;  (** Callee pattern; ["*"] matches any. *)
+      src : string;
+          (** Caller pattern; ["*"] any, ["client"] the ingress, ["node:N"]
+              / ["rack:R"] every service the cluster topology hosts there
+              (see {!matches}). *)
+      dst : string;  (** Callee pattern; same forms as [src]. *)
       delay_us : float;
       jitter_us : float;  (** Uniform ±jitter added per matching hop. *)
       duration_us : float;
@@ -39,6 +42,10 @@ type fault =
   | Image_cache_flush of { pull_factor : float; duration_us : float }
       (** Cold-start storm fuel: every image pull costs [pull_factor]× until
           the cache warms again. *)
+  | Kill_node of { node : int }
+      (** A node is a failure domain: crash-kill every container the node
+          hosts and clear its image cache ({!Quilt_platform.Engine.kill_node}).
+          No-op on a flat engine. *)
 
 type event = { at_us : float;  (** Relative to arm time. *) fault : fault }
 
@@ -47,6 +54,14 @@ type t = { seed : int; events : event list }
 val make : seed:int -> event list -> t
 
 val fault_name : fault -> string
+
+val matches : Quilt_platform.Engine.t -> string -> string -> bool
+(** [matches engine pat name]: the src/dst pattern semantics of the network
+    and CPU faults.  Precedence: exact name (a service literally named
+    ["node:1"] is matched by that pattern wherever it runs), then ["*"],
+    then ["node:N"] / ["rack:R"] resolved against the engine's cluster
+    topology.  ["client"] never matches a location pattern, and on a flat
+    engine the location forms match nothing. *)
 
 type armed
 (** A plan installed against one engine: holds the fault RNG, the active

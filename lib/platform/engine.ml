@@ -1,5 +1,6 @@
 module Rng = Quilt_util.Rng
 module Trace = Quilt_tracing.Trace
+module Topology = Quilt_place.Topology
 
 type mode =
   | Plain
@@ -35,6 +36,8 @@ type container = {
   mutable cpu_used_us : float;
   mutable invocations : int;
   mutable backlog : (unit -> unit) list;  (* tasks waiting for cold start *)
+  c_node : int;  (* hosting worker node (0 when the topology is flat) *)
+  mutable c_charged : bool;  (* capacity reserved on the node, to release on kill *)
   fail_hooks : (int, unit -> unit) Hashtbl.t;
   (* In-process per-function monitor for merged/CM containers (§8's billing
      instrumentation): cumulative modeled CPU / invocations / peak workspace
@@ -70,6 +73,46 @@ type counters = {
 (* Verdict of the (optional) network-fault hook for one remote hop. *)
 type net_verdict = Net_ok | Net_delay of float | Net_drop
 
+(* --- Cluster topology state (None = the seed's flat world) --- *)
+
+(* Per-node runtime accounting.  [ns_images] is the node's image cache:
+   the first cold start of an image on a node pays the registry pull, later
+   cold starts of the same image on that node skip it (kubelet behaviour).
+   A node kill clears the cache — the machine rebooted. *)
+type node_state = {
+  ns_node : Topology.node;
+  mutable ns_used_vcpus : float;
+  mutable ns_used_mem_mb : float;
+  (* Admission headroom held for assigned services that have not started
+     their first container yet (K8s-style requests at schedule time):
+     scale-ups may only eat capacity beyond [used + planned]. *)
+  mutable ns_planned_vcpus : float;
+  mutable ns_planned_mem_mb : float;
+  mutable ns_containers : int;
+  ns_images : (string, unit) Hashtbl.t;
+}
+
+type hop_counters = {
+  hops_same_node : int;
+  hops_same_rack : int;
+  hops_cross_rack : int;
+  image_cache_hits : int;
+  capacity_denials : int;  (** Scale-ups refused because the node was full. *)
+}
+
+type cluster_state = {
+  topo : Topology.cluster;
+  nstates : node_state array;
+  assign : (string, int) Hashtbl.t;  (* deployment base name -> node id *)
+  pending : (string, float * float) Hashtbl.t;
+      (* base name -> (vcpus, mem) of the planned-but-unstarted first pod *)
+  mutable ch_same_node : int;
+  mutable ch_same_rack : int;
+  mutable ch_cross_rack : int;
+  mutable ch_image_hits : int;
+  mutable ch_cap_denials : int;
+}
+
 type t = {
   rng : Rng.t;
   prm : Params.t;
@@ -100,6 +143,8 @@ type t = {
   mutable c_crash : int;
   mutable c_net_drop : int;
   mutable c_hop_timeout : int;
+  (* --- cluster topology (quilt_place); None keeps every seed path --- *)
+  mutable cluster : cluster_state option;
 }
 
 (* Per-request context on the deployment that owns the root task.  The
@@ -165,6 +210,7 @@ let create ?(seed = 1) ?(params = Params.default) ?(sched = Sched.Wheel) ~regist
     c_crash = 0;
     c_net_drop = 0;
     c_hop_timeout = 0;
+    cluster = None;
   }
 
 let add_completion_hook sim h = sim.completion_hooks <- h :: sim.completion_hooks
@@ -213,6 +259,94 @@ let deployment_for sim fn =
   match Hashtbl.find_opt sim.deployments dname with
   | Some d -> d
   | None -> failwith (Printf.sprintf "Engine: no deployment for %s" fn)
+
+(* --- Cluster topology helpers --- *)
+
+(* Rolling versions live under "<service>#vN"; placement is per logical
+   service, so node lookups strip the version suffix. *)
+let base_service name =
+  match String.index_opt name '#' with
+  | None -> name
+  | Some i -> String.sub name 0 i
+
+(* The node hosting a deployment.  Unassigned services are auto-placed
+   first-fit at first use (lowest node with room for one container, else
+   the node with the most free vCPUs) and the choice is recorded, so it is
+   deterministic and stable for the rest of the run. *)
+let node_for_spec cs (spec : spec) =
+  let base = base_service spec.service in
+  match Hashtbl.find_opt cs.assign base with
+  | Some id -> id
+  | None ->
+      let n = Array.length cs.nstates in
+      let fits i =
+        let ns = cs.nstates.(i) in
+        ns.ns_used_vcpus +. ns.ns_planned_vcpus +. spec.vcpus <= ns.ns_node.Topology.vcpus
+        && ns.ns_used_mem_mb +. ns.ns_planned_mem_mb +. spec.mem_limit_mb
+           <= ns.ns_node.Topology.mem_mb
+      in
+      let rec first i = if i >= n then None else if fits i then Some i else first (i + 1) in
+      let id =
+        match first 0 with
+        | Some i -> i
+        | None ->
+            let best = ref 0 and free = ref neg_infinity in
+            for i = 0 to n - 1 do
+              let f = cs.nstates.(i).ns_node.Topology.vcpus -. cs.nstates.(i).ns_used_vcpus in
+              if f > !free then begin
+                free := f;
+                best := i
+              end
+            done;
+            !best
+      in
+      Hashtbl.replace cs.assign base id;
+      id
+
+let node_of_dname sim dname =
+  match sim.cluster with
+  | None -> 0
+  | Some cs -> (
+      match Hashtbl.find_opt sim.deployments dname with
+      | Some dep -> node_for_spec cs dep.dspec
+      | None -> (
+          match Hashtbl.find_opt cs.assign (base_service dname) with
+          | Some id -> id
+          | None -> 0))
+
+(* Node of the deployment a function routes to. *)
+let node_of_fn sim fn =
+  node_of_dname sim
+    (match Hashtbl.find_opt sim.routes fn with Some d -> d | None -> fn)
+
+(* Does [dep]'s node have room to reserve one more container?  Planned
+   first pods of not-yet-started neighbours count as occupied: a scale-up
+   must not eat a slot the placement promised to someone else. *)
+let node_has_capacity sim dep =
+  match sim.cluster with
+  | None -> true
+  | Some cs ->
+      let ns = cs.nstates.(node_for_spec cs dep.dspec) in
+      let spec = dep.dspec in
+      ns.ns_used_vcpus +. ns.ns_planned_vcpus +. spec.vcpus <= ns.ns_node.Topology.vcpus
+      && ns.ns_used_mem_mb +. ns.ns_planned_mem_mb +. spec.mem_limit_mb
+         <= ns.ns_node.Topology.mem_mb
+
+(* Topology-derived RTT for a hop between two functions; None = flat. *)
+let hop_rtt_us sim ~caller ~callee =
+  match sim.cluster with
+  | None -> None
+  | Some cs ->
+      let u = match caller with Some fn -> node_of_fn sim fn | None -> -1 in
+      if u < 0 then None  (* client ingress keeps the flat testbed RTT *)
+      else begin
+        let v = node_of_fn sim callee in
+        (match Topology.dist cs.topo u v with
+        | Topology.Same_node -> cs.ch_same_node <- cs.ch_same_node + 1
+        | Topology.Same_rack -> cs.ch_same_rack <- cs.ch_same_rack + 1
+        | Topology.Cross_rack -> cs.ch_cross_rack <- cs.ch_cross_rack + 1);
+        Some (Topology.rtt_us (Topology.Cluster cs.topo) ~default_rtt_us:sim.prm.Params.rtt_us u v)
+      end
 
 (* --- Processor-sharing CPU --- *)
 
@@ -307,6 +441,15 @@ let remove_container dep c = dep.pool <- List.filter (fun c' -> c'.cid <> c.cid)
    start_task's [done_once] guard makes double completion impossible. *)
 let kill_impl sim dep c =
   settle sim c sim.now_;
+  (if c.c_charged then
+     match sim.cluster with
+     | Some cs when c.c_node < Array.length cs.nstates ->
+         let ns = cs.nstates.(c.c_node) in
+         ns.ns_used_vcpus <- ns.ns_used_vcpus -. c.cspec.vcpus;
+         ns.ns_used_mem_mb <- ns.ns_used_mem_mb -. c.cspec.mem_limit_mb;
+         ns.ns_containers <- ns.ns_containers - 1;
+         c.c_charged <- false
+     | _ -> ());
   c.dead <- true;
   c.epoch <- c.epoch + 1;
   c.compute <- [];
@@ -340,6 +483,49 @@ let cold_start sim dep =
   sim.c_cold <- sim.c_cold + 1;
   sim.next_cid <- sim.next_cid + 1;
   let spec = dep.dspec in
+  (* Reserve node capacity for the container's limits (K8s requests=limits)
+     and consult the node's image cache.  The scale-up path gates on
+     [node_has_capacity] before calling us; explicit prewarm paths
+     (deploy_rolling) may transiently overcommit, like a real rolling
+     update does during the surge. *)
+  let nid, pull_factor =
+    match sim.cluster with
+    | None -> (0, sim.cold_pull_factor)
+    | Some cs ->
+        let nid = node_for_spec cs dep.dspec in
+        let ns = cs.nstates.(nid) in
+        (* The service's planned first-pod reservation converts to usage. *)
+        let base = base_service spec.service in
+        (match Hashtbl.find_opt cs.pending base with
+        | Some (pv, pm) ->
+            Hashtbl.remove cs.pending base;
+            ns.ns_planned_vcpus <- Float.max 0.0 (ns.ns_planned_vcpus -. pv);
+            ns.ns_planned_mem_mb <- Float.max 0.0 (ns.ns_planned_mem_mb -. pm)
+        | None -> ());
+        ns.ns_used_vcpus <- ns.ns_used_vcpus +. spec.vcpus;
+        ns.ns_used_mem_mb <- ns.ns_used_mem_mb +. spec.mem_limit_mb;
+        ns.ns_containers <- ns.ns_containers + 1;
+        let pf =
+          if not cs.topo.Topology.image_cache then sim.cold_pull_factor
+          else begin
+            (* Keyed by logical image, not container: a rolling version of
+               the same service reuses the layer unless the image changed
+               size (a re-merge ships a different binary).  The cache is
+               marked at pull start — a concurrent cold start on the same
+               node rides the in-flight pull. *)
+            let key = Printf.sprintf "%s:%.1f" (base_service spec.service) spec.image_mb in
+            if Hashtbl.mem ns.ns_images key then begin
+              cs.ch_image_hits <- cs.ch_image_hits + 1;
+              0.0
+            end
+            else begin
+              Hashtbl.replace ns.ns_images key ();
+              sim.cold_pull_factor
+            end
+          end
+        in
+        (nid, pf)
+  in
   let c =
     {
       cid = sim.next_cid;
@@ -357,6 +543,8 @@ let cold_start sim dep =
       cpu_used_us = 0.0;
       invocations = 0;
       backlog = [];
+      c_node = nid;
+      c_charged = Option.is_some sim.cluster;
       fail_hooks = Hashtbl.create 8;
       monitors = Hashtbl.create 8;
     }
@@ -366,7 +554,7 @@ let cold_start sim dep =
   dep.pool <- c :: dep.pool;
   if List.length dep.pool > dep.peak then dep.peak <- List.length dep.pool;
   let duration =
-    (spec.image_mb *. sim.prm.Params.cold_start_pull_us_per_mb *. sim.cold_pull_factor)
+    (spec.image_mb *. sim.prm.Params.cold_start_pull_us_per_mb *. pull_factor)
     +. sim.prm.Params.cold_start_boot_us
     +. (if spec.eager_http then sim.prm.Params.http_stack_load_us else 0.0)
   in
@@ -669,7 +857,10 @@ and cm_exec sim dep c tctx child base_mem k =
 and remote_invoke sim ~caller ~kind (child : Calltree.node) k =
   sim.c_remote <- sim.c_remote + 1;
   record_span sim ~caller ~callee:child.Calltree.fn ~kind;
-  let leg = Params.remote_leg_us sim.prm ~profiled:sim.profiling ~payload:child.Calltree.req in
+  (* One topology lookup per invocation prices both legs of the hop (and
+     classifies it in the same-node/same-rack/cross-rack counters). *)
+  let rtt_us = hop_rtt_us sim ~caller ~callee:child.Calltree.fn in
+  let leg = Params.remote_leg_us ?rtt_us sim.prm ~profiled:sim.profiling ~payload:child.Calltree.req in
   (* One hop = request leg, callee execution, response leg.  The router's
      per-hop timeout (when armed) fails the caller after [hop_timeout_us]
      even though the callee may keep executing — that orphaned execution is
@@ -703,7 +894,7 @@ and remote_invoke sim ~caller ~kind (child : Calltree.node) k =
       let extra = match verdict with Net_delay d -> Float.max 0.0 d | _ -> 0.0 in
       schedule sim (leg +. extra) (fun () ->
           dispatch sim child (fun ok ->
-              let back = Params.response_leg_us sim.prm ~payload:child.Calltree.res in
+              let back = Params.response_leg_us ?rtt_us sim.prm ~payload:child.Calltree.res in
               schedule sim back (fun () -> finish ok)))
 
 and dispatch sim (node : Calltree.node) k =
@@ -729,7 +920,19 @@ and try_assign sim dep node k =
       if
         n_alive < dep.dspec.max_scale
         && float_of_int (Queue.length dep.waitq + 1) > float_of_int starting *. slots
-      then ignore (cold_start sim dep);
+      then begin
+        (* The autoscaler only adds a container if the deployment's node can
+           reserve it; a full node leaves the request queued against the
+           existing pool (and bumps the denial counter for the operator).
+           The deployment's FIRST container is always admitted: placement
+           decided the service fits this node, and a neighbour's scale-ups
+           must not be able to starve it of its one guaranteed pod. *)
+        if n_alive = 0 || node_has_capacity sim dep then ignore (cold_start sim dep)
+        else
+          match sim.cluster with
+          | Some cs -> cs.ch_cap_denials <- cs.ch_cap_denials + 1
+          | None -> ()
+      end;
       false
 
 and start_task sim dep c node k =
@@ -994,3 +1197,193 @@ let total_base_mem_mb sim =
     (fun _ dep acc ->
       List.fold_left (fun a c -> if c.dead then a else a +. c.mem_in_use) acc dep.pool)
     sim.deployments 0.0
+
+(* --- Cluster topology API --- *)
+
+let set_topology ?(assign = []) sim topo =
+  match topo with
+  | Topology.Flat -> sim.cluster <- None
+  | Topology.Cluster c ->
+      let n = Array.length c.Topology.nodes in
+      let tbl = Hashtbl.create 32 in
+      List.iter
+        (fun (service, id) ->
+          if id < 0 || id >= n then
+            invalid_arg
+              (Printf.sprintf "Engine.set_topology: node %d out of range for %s" id service);
+          Hashtbl.replace tbl (base_service service) id)
+        assign;
+      let nstates =
+        Array.map
+          (fun nd ->
+            {
+              ns_node = nd;
+              ns_used_vcpus = 0.0;
+              ns_used_mem_mb = 0.0;
+              ns_planned_vcpus = 0.0;
+              ns_planned_mem_mb = 0.0;
+              ns_containers = 0;
+              ns_images = Hashtbl.create 8;
+            })
+          c.Topology.nodes
+      in
+      (* Placement is admission: hold each assigned service's first-pod
+         footprint on its node so neighbours' scale-ups cannot take it.
+         Services deployed after [set_topology] simply aren't planned. *)
+      let pending = Hashtbl.create 32 in
+      Hashtbl.iter
+        (fun base id ->
+          let dname = match Hashtbl.find_opt sim.routes base with Some d -> d | None -> base in
+          match Hashtbl.find_opt sim.deployments dname with
+          | None -> ()
+          | Some dep ->
+              let s = dep.dspec in
+              Hashtbl.replace pending base (s.vcpus, s.mem_limit_mb);
+              let ns = nstates.(id) in
+              ns.ns_planned_vcpus <- ns.ns_planned_vcpus +. s.vcpus;
+              ns.ns_planned_mem_mb <- ns.ns_planned_mem_mb +. s.mem_limit_mb)
+        tbl;
+      sim.cluster <-
+        Some
+          {
+            topo = c;
+            nstates;
+            assign = tbl;
+            pending;
+            ch_same_node = 0;
+            ch_same_rack = 0;
+            ch_cross_rack = 0;
+            ch_image_hits = 0;
+            ch_cap_denials = 0;
+          }
+
+let topology sim =
+  match sim.cluster with None -> Topology.Flat | Some cs -> Topology.Cluster cs.topo
+
+let node_of_service sim name =
+  match sim.cluster with None -> None | Some _ -> Some (node_of_fn sim name)
+
+let rack_of_service sim name =
+  match sim.cluster with
+  | None -> None
+  | Some cs -> Some cs.topo.Topology.nodes.(node_of_fn sim name).Topology.rack
+
+let reassign sim ~service ~node =
+  match sim.cluster with
+  | None -> false
+  | Some cs ->
+      if node < 0 || node >= Array.length cs.nstates then false
+      else begin
+        let base = base_service service in
+        (* An unstarted service takes its planned first-pod hold with it. *)
+        (match (Hashtbl.find_opt cs.pending base, Hashtbl.find_opt cs.assign base) with
+        | Some (pv, pm), Some old when old <> node ->
+            let o = cs.nstates.(old) and n = cs.nstates.(node) in
+            o.ns_planned_vcpus <- Float.max 0.0 (o.ns_planned_vcpus -. pv);
+            o.ns_planned_mem_mb <- Float.max 0.0 (o.ns_planned_mem_mb -. pm);
+            n.ns_planned_vcpus <- n.ns_planned_vcpus +. pv;
+            n.ns_planned_mem_mb <- n.ns_planned_mem_mb +. pm
+        | _ -> ());
+        Hashtbl.replace cs.assign base node;
+        true
+      end
+
+let node_assignments sim =
+  match sim.cluster with
+  | None -> []
+  | Some cs ->
+      Hashtbl.fold (fun s id acc -> (s, id) :: acc) cs.assign []
+      |> List.sort compare
+
+type node_load = {
+  nl_node : Topology.node;
+  nl_used_vcpus : float;
+  nl_used_mem_mb : float;
+  nl_containers : int;
+}
+
+let node_loads sim =
+  match sim.cluster with
+  | None -> [||]
+  | Some cs ->
+      Array.map
+        (fun ns ->
+          {
+            nl_node = ns.ns_node;
+            nl_used_vcpus = ns.ns_used_vcpus;
+            nl_used_mem_mb = ns.ns_used_mem_mb;
+            nl_containers = ns.ns_containers;
+          })
+        cs.nstates
+
+let topo_counters sim =
+  match sim.cluster with
+  | None ->
+      {
+        hops_same_node = 0;
+        hops_same_rack = 0;
+        hops_cross_rack = 0;
+        image_cache_hits = 0;
+        capacity_denials = 0;
+      }
+  | Some cs ->
+      {
+        hops_same_node = cs.ch_same_node;
+        hops_same_rack = cs.ch_same_rack;
+        hops_cross_rack = cs.ch_cross_rack;
+        image_cache_hits = cs.ch_image_hits;
+        capacity_denials = cs.ch_cap_denials;
+      }
+
+let deployment_spec sim name =
+  let dname = match Hashtbl.find_opt sim.routes name with Some d -> d | None -> name in
+  match Hashtbl.find_opt sim.deployments dname with
+  | Some dep -> Some dep.dspec
+  | None -> None
+
+let route_of sim fn =
+  match Hashtbl.find_opt sim.routes fn with Some d -> d | None -> fn
+
+(* Retire a superseded rolling version: tear down its remaining containers
+   (releasing their node reservations) without touching the crash counters.
+   Callers decommission only after the route has flipped away and the old
+   pool has drained; any straggling in-flight request fails via the usual
+   fail hooks rather than hanging on a zombie pool. *)
+let decommission sim ~deployment =
+  match Hashtbl.find_opt sim.deployments deployment with
+  | None -> 0
+  | Some dep ->
+      let victims = List.filter (fun c -> not c.dead) dep.pool in
+      List.iter (fun c -> kill_impl sim dep c) victims;
+      List.length victims
+
+(* A node is a failure domain: kill every container it hosts (in-flight
+   requests fail exactly once, queued work re-evaluates and cold-starts
+   replacements — which re-pull, because the machine's image cache died
+   with it).  Returns the number of containers killed. *)
+let kill_node sim ~node =
+  match sim.cluster with
+  | None -> 0
+  | Some cs ->
+      if node < 0 || node >= Array.length cs.nstates then 0
+      else begin
+        Hashtbl.reset cs.nstates.(node).ns_images;
+        let victims = ref [] in
+        Hashtbl.iter
+          (fun _ dep ->
+            List.iter
+              (fun c -> if (not c.dead) && c.c_node = node then victims := (dep, c) :: !victims)
+              dep.pool)
+          sim.deployments;
+        (* Deterministic kill order regardless of hashtable iteration. *)
+        let victims = List.sort (fun (_, a) (_, b) -> compare a.cid b.cid) !victims in
+        List.iter
+          (fun (dep, c) ->
+            if not c.dead then begin
+              sim.c_crash <- sim.c_crash + 1;
+              kill_impl sim dep c
+            end)
+          victims;
+        List.iter (fun (dep, _) -> drain_queue sim dep) victims;
+        List.length victims
+      end

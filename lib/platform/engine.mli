@@ -203,3 +203,95 @@ val peak_pool_size : t -> string -> int
 val total_base_mem_mb : t -> float
 (** Σ of resident base memory across all live containers — the
     resource-efficiency metric of Experiment 2. *)
+
+(** {1 Cluster topology (quilt_place)}
+
+    By default the engine models the seed's flat world: one implicit node,
+    every remote hop priced at the single [Params.rtt_us], containers
+    placed wherever a pod frees first.  Installing a
+    {!Quilt_place.Topology.Cluster} activates the node model:
+
+    - every container is pinned to its deployment's node and reserves the
+      spec's vCPU/memory limits there; the autoscaler refuses to scale a
+      deployment past its node's capacity (requests stay queued).  A
+      deployment's first container is always admitted — placement is
+      admission, so a neighbour's scale-ups cannot starve a service of
+      its one guaranteed pod;
+    - internal hops are priced by topology distance (same-node / same-rack
+      / cross-rack) instead of the flat RTT — client ingress keeps the
+      testbed RTT, since the client is outside the cluster;
+    - each node keeps an image cache: the first cold start of an image on
+      a node pays the registry pull, subsequent ones skip it;
+    - a node is a failure domain ({!kill_node}).
+
+    Installing {!Quilt_place.Topology.Flat} (or never calling
+    {!set_topology}) keeps every seed code path — pinned bit-identical by
+    the flat-parity tests in [test_engine.ml]. *)
+
+val set_topology :
+  ?assign:(string * int) list -> t -> Quilt_place.Topology.t -> unit
+(** Installs the cluster and the service→node placement (e.g. from
+    {!Quilt_place.Placement.plan}).  Call before traffic: existing
+    containers are not retroactively charged to nodes.  Services missing
+    from [assign] are auto-placed first-fit at first use.  Raises
+    [Invalid_argument] on an out-of-range node id. *)
+
+val topology : t -> Quilt_place.Topology.t
+
+val node_of_service : t -> string -> int option
+(** Node hosting the deployment the service routes to; [None] when flat. *)
+
+val rack_of_service : t -> string -> int option
+
+val reassign : t -> service:string -> node:int -> bool
+(** Re-homes a service: future containers (e.g. the prewarmed pod of a
+    {!deploy_rolling}) start on the new node; running containers stay put
+    until they die — exactly the migration primitive the rebalancer needs.
+    False when flat or the node id is out of range. *)
+
+val node_assignments : t -> (string * int) list
+(** Current service→node map, sorted; empty when flat. *)
+
+type node_load = {
+  nl_node : Quilt_place.Topology.node;
+  nl_used_vcpus : float;
+  nl_used_mem_mb : float;
+  nl_containers : int;
+}
+
+val node_loads : t -> node_load array
+(** Per-node reserved capacity right now; [[||]] when flat. *)
+
+type hop_counters = {
+  hops_same_node : int;
+  hops_same_rack : int;
+  hops_cross_rack : int;
+  image_cache_hits : int;
+  capacity_denials : int;  (** Scale-ups refused because the node was full. *)
+}
+
+val topo_counters : t -> hop_counters
+(** Cumulative hop-distance classification of every internal remote
+    invocation, plus image-cache and capacity-denial counts. *)
+
+val deployment_spec : t -> string -> spec option
+(** Spec of the deployment a service currently routes to (the live rolling
+    version's spec) — what a rebalancer re-submits to {!deploy_rolling}
+    after a {!reassign}. *)
+
+val route_of : t -> string -> string
+(** The deployment name a service currently routes to (itself when no
+    rolling version has taken over). *)
+
+val decommission : t -> deployment:string -> int
+(** Retires a superseded rolling version by exact deployment name: kills
+    its remaining containers (releasing node reservations; stragglers fail
+    via the usual hooks) without counting crash kills.  Returns how many
+    containers were torn down. *)
+
+val kill_node : t -> node:int -> int
+(** Kills every container on the node (each counted as a crash kill, each
+    in-flight request failed exactly once) and clears the node's image
+    cache — the machine rebooted.  The node's capacity is immediately
+    reusable; replacements cold-start with a full re-pull.  Returns the
+    number of containers killed; 0 when flat or out of range. *)

@@ -49,12 +49,17 @@ let default =
 
 let payload_kb s = float_of_int (String.length s) /. 1024.0
 
-let remote_leg_us p ~profiled ~payload =
+(* [rtt_us] overrides the flat network constant with a topology-derived
+   RTT for the hop at hand (same-node / same-rack / cross-rack); omitted,
+   the seed's single [p.rtt_us] applies and nothing changes. *)
+let remote_leg_us ?rtt_us p ~profiled ~payload =
+  let rtt = match rtt_us with Some r -> r | None -> p.rtt_us in
   p.serialize_base_us
   +. (p.serialize_us_per_kb *. payload_kb payload)
   +. p.gateway_us +. p.router_us
-  +. (p.rtt_us /. 2.0)
+  +. (rtt /. 2.0)
   +. (if profiled then p.nginx_us else 0.0)
 
-let response_leg_us p ~payload =
-  p.serialize_base_us +. (p.serialize_us_per_kb *. payload_kb payload) +. p.gateway_us +. (p.rtt_us /. 2.0)
+let response_leg_us ?rtt_us p ~payload =
+  let rtt = match rtt_us with Some r -> r | None -> p.rtt_us in
+  p.serialize_base_us +. (p.serialize_us_per_kb *. payload_kb payload) +. p.gateway_us +. (rtt /. 2.0)

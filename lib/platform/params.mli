@@ -46,9 +46,13 @@ val default : t
 val payload_kb : string -> float
 (** Size of a JSON payload in KB for the serialization model. *)
 
-val remote_leg_us : t -> profiled:bool -> payload:string -> float
+val remote_leg_us : ?rtt_us:float -> t -> profiled:bool -> payload:string -> float
 (** One-way cost of an invocation request (client→callee or fn→fn):
-    serialization + gateway + routing + half RTT (+ nginx when profiling). *)
+    serialization + gateway + routing + half RTT (+ nginx when profiling).
+    [rtt_us] substitutes a topology-derived RTT for the flat [t.rtt_us]
+    (same-node / same-rack / cross-rack); omitted, the seed constant
+    applies. *)
 
-val response_leg_us : t -> payload:string -> float
-(** Response path: serialization + gateway + half RTT. *)
+val response_leg_us : ?rtt_us:float -> t -> payload:string -> float
+(** Response path: serialization + gateway + half RTT.  [rtt_us] as in
+    {!remote_leg_us}. *)

@@ -362,6 +362,47 @@ let test_sched_parity_through_merge_path () =
   let b = run Quilt_platform.Sched.Legacy_heap in
   Alcotest.(check bool) "merge path bit-identical across schedulers" true (a = b)
 
+(* The cluster topology subsystem must be invisible until asked for: a
+   [Topology.Flat] install — and even a degenerate one-node cluster tuned
+   to the seed's constants — leaves a full simulation bit-identical to the
+   untouched engine.  The engine-level face of the flat-parity claim in
+   ISSUE's placement work, beside the scheduler-parity tests above. *)
+let compose_fingerprint prepare =
+  let wfs = Quilt_apps.Deathstar.social_network ~async:false () in
+  let compose = List.find (fun w -> w.Workflow.wf_name = "compose-post") wfs in
+  let engine = Quilt.fresh_platform ~seed:11 ~workflows:[ compose ] () in
+  prepare engine;
+  let r =
+    Loadgen.run_open_loop engine ~entry:"compose-post" ~gen_req:compose.Workflow.gen_req
+      ~rate_rps:120.0 ~duration_us:3_000_000.0 ~warmup_us:1_000_000.0 ()
+  in
+  ( (r.Loadgen.successes, r.Loadgen.failures, r.Loadgen.offered),
+    (Loadgen.median_ms r, Loadgen.p99_ms r, Loadgen.mean_ms r),
+    Engine.counters engine,
+    Engine.now engine )
+
+let test_flat_topology_bit_identical () =
+  let seed = compose_fingerprint (fun _ -> ()) in
+  let flat =
+    compose_fingerprint (fun e -> Engine.set_topology e Quilt_place.Topology.flat)
+  in
+  Alcotest.(check bool) "Topology.flat = untouched engine, bit-identical" true (seed = flat)
+
+let test_degenerate_cluster_matches_seed () =
+  (* One effectively-unbounded node, image cache off, same-node RTT pinned
+     to the seed's flat 200 µs: the cluster code paths all run (hops are
+     classified, capacity is reserved) yet every latency and counter must
+     equal the seed's — the node model prices, it never distorts. *)
+  let seed = compose_fingerprint (fun _ -> ()) in
+  let one_node =
+    Quilt_place.Topology.make ~rtt_same_node_us:Params.default.Params.rtt_us
+      ~image_cache:false
+      [ Quilt_place.Topology.node ~rack:0 ~vcpus:1e9 ~mem_mb:1e12 () ]
+  in
+  let degenerate = compose_fingerprint (fun e -> Engine.set_topology e one_node) in
+  Alcotest.(check bool) "one fat node at 200us = seed engine, bit-identical" true
+    (seed = degenerate)
+
 (* --- Tracing builder details --- *)
 
 let test_builder_async_edge_kind () =
@@ -519,6 +560,13 @@ let suite =
         Alcotest.test_case "wheel = legacy heap, bit-identical" `Quick
           test_wheel_and_legacy_heap_bit_identical;
         Alcotest.test_case "parity through merge path" `Quick test_sched_parity_through_merge_path;
+      ] );
+    ( "engine.topology",
+      [
+        Alcotest.test_case "flat topology = seed, bit-identical" `Quick
+          test_flat_topology_bit_identical;
+        Alcotest.test_case "degenerate 1-node cluster = seed" `Quick
+          test_degenerate_cluster_matches_seed;
       ] );
     ( "engine.failures",
       [

@@ -174,6 +174,109 @@ let chaos_signature plan_seed =
   in
   (Plan.trace armed, r.Loadgen.successes, r.Loadgen.failures, r.Loadgen.offered, r.Loadgen.counters)
 
+(* --- topology-aware patterns (node:/rack:) --- *)
+
+let chain_cluster () =
+  (* front on rack 0, back alone on rack 1. *)
+  let topo =
+    Quilt_place.Topology.make
+      [
+        Quilt_place.Topology.node ~rack:0 ~vcpus:8.0 ~mem_mb:4096.0 ();
+        Quilt_place.Topology.node ~rack:1 ~vcpus:8.0 ~mem_mb:4096.0 ();
+      ]
+  in
+  let engine = fresh_chain () in
+  Engine.set_topology ~assign:[ ("front", 0); ("back", 1) ] engine topo;
+  engine
+
+let test_pattern_precedence () =
+  let e = chain_cluster () in
+  (* Exact name first: even a service named like a location pattern. *)
+  Alcotest.(check bool) "exact name" true (Plan.matches e "front" "front");
+  Alcotest.(check bool) "exact name beats location parsing" true
+    (Plan.matches e "node:1" "node:1");
+  Alcotest.(check bool) "wildcard" true (Plan.matches e "*" "back");
+  (* Location forms resolve against the cluster. *)
+  Alcotest.(check bool) "node:0 hosts front" true (Plan.matches e "node:0" "front");
+  Alcotest.(check bool) "node:0 does not host back" false (Plan.matches e "node:0" "back");
+  Alcotest.(check bool) "rack:1 hosts back" true (Plan.matches e "rack:1" "back");
+  Alcotest.(check bool) "rack:1 does not host front" false (Plan.matches e "rack:1" "front");
+  (* The client sits outside the cluster. *)
+  Alcotest.(check bool) "client never matches a location" false
+    (Plan.matches e "node:0" "client");
+  Alcotest.(check bool) "client still matches itself" true (Plan.matches e "client" "client");
+  (* Flat engines have no locations. *)
+  let flat = fresh_chain () in
+  Alcotest.(check bool) "flat engine: node: matches nothing" false
+    (Plan.matches flat "node:0" "front");
+  Alcotest.(check bool) "flat engine: rack: matches nothing" false
+    (Plan.matches flat "rack:0" "front");
+  Alcotest.(check bool) "garbage pattern matches nothing" false
+    (Plan.matches e "node:x" "front")
+
+let test_net_fault_by_rack_pattern () =
+  (* Drop every hop into rack 1: the front->back call dies, so the request
+     fails once the hop timeout fires. *)
+  let engine = chain_cluster () in
+  Engine.set_hop_timeout engine (Some 50_000.0);
+  let _ =
+    Plan.arm
+      (Plan.make ~seed:3
+         [ { Plan.at_us = 0.0; fault = Plan.Net_drop { src = "*"; dst = "rack:1"; p = 1.0; duration_us = 1e8 } } ])
+      engine
+  in
+  settle engine;
+  let _, ok = one_req ~entry:"front" engine chain_req in
+  Alcotest.(check bool) "hop into the dark rack fails the request" false ok;
+  Alcotest.(check bool) "drop counted" true ((Engine.counters engine).Engine.net_drops >= 1);
+  (* The same plan against a flat engine matches no hop at all.  No hop
+     timeout here: a wrongly matched drop would fail (or hang) the request
+     on its own. *)
+  let flat = fresh_chain () in
+  let _ =
+    Plan.arm
+      (Plan.make ~seed:3
+         [ { Plan.at_us = 0.0; fault = Plan.Net_drop { src = "*"; dst = "rack:1"; p = 1.0; duration_us = 1e8 } } ])
+      flat
+  in
+  settle flat;
+  let _, ok = one_req ~entry:"front" flat chain_req in
+  Alcotest.(check bool) "flat engine unaffected" true ok
+
+let test_plan_kill_node_fault () =
+  (* A slow back end keeps the request in flight when the node dies. *)
+  let p ~c = { Workflow.compute_us = c; db_us = 0; mem_mb = 2 } in
+  let wf =
+    {
+      chain_wf with
+      Workflow.functions =
+        [
+          Workflow.std_fn ~name:"front" ~lang:"rust" ~profile:(p ~c:300) ~children:[ "back" ] ();
+          Workflow.std_fn ~name:"back" ~lang:"rust" ~profile:(p ~c:100_000) ();
+        ];
+    }
+  in
+  let engine = Quilt.fresh_platform ~workflows:[ wf ] () in
+  Engine.set_topology ~assign:[ ("front", 0); ("back", 1) ] engine
+    (Quilt_place.Topology.make
+       [
+         Quilt_place.Topology.node ~rack:0 ~vcpus:8.0 ~mem_mb:4096.0 ();
+         Quilt_place.Topology.node ~rack:1 ~vcpus:8.0 ~mem_mb:4096.0 ();
+       ]);
+  ignore (one_req ~entry:"front" engine chain_req);
+  let armed =
+    Plan.arm
+      (Plan.make ~seed:7 [ { Plan.at_us = 10_000.0; fault = Plan.Kill_node { node = 1 } } ])
+      engine
+  in
+  let _, ok = one_req ~entry:"front" engine chain_req in
+  Alcotest.(check bool) "request through the dead node failed" false ok;
+  Alcotest.(check bool) "crash kills counted" true
+    ((Engine.counters engine).Engine.crash_kills >= 1);
+  Alcotest.(check int) "activation traced" 1 (List.length (Plan.trace armed));
+  let _, ok2 = one_req ~entry:"front" engine chain_req in
+  Alcotest.(check bool) "replacements cold-start on the node" true ok2
+
 let test_plan_determinism_unit () =
   let a = chaos_signature 11 and b = chaos_signature 11 in
   Alcotest.(check bool) "same seed, same trace and stats" true (a = b);
@@ -375,6 +478,13 @@ let suite =
         Alcotest.test_case "net delay adds latency" `Quick test_plan_net_delay_adds_latency;
         Alcotest.test_case "cpu degrade slows compute" `Quick test_plan_cpu_degrade_slows_compute;
         Alcotest.test_case "cache flush slows cold starts" `Quick test_plan_cache_flush_slows_cold_start;
+      ] );
+    ( "fault.patterns",
+      [
+        Alcotest.test_case "pattern precedence: exact > * > node:/rack:" `Quick
+          test_pattern_precedence;
+        Alcotest.test_case "net fault by rack pattern" `Quick test_net_fault_by_rack_pattern;
+        Alcotest.test_case "kill-node plan fault" `Quick test_plan_kill_node_fault;
       ] );
     ( "fault.determinism",
       [

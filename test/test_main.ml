@@ -19,4 +19,5 @@ let () =
        Test_apps.suite;
        Test_control.suite;
        Test_fault.suite;
+       Test_place.suite;
      ])
