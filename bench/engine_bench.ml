@@ -114,12 +114,15 @@ let fingerprint (r : Loadgen.result) =
 let bench_params =
   { Quilt_platform.Params.default with Quilt_platform.Params.max_tasks_per_container = 512 }
 
-let run_arm ~kind ~rate_rps ~duration_us () =
+(* [setup] runs after deployment and before the clock starts — the obs
+   bench uses it to attach a span recorder to an otherwise identical arm. *)
+let run_arm ?(setup = fun (_ : Engine.t) -> ()) ~kind ~rate_rps ~duration_us () =
   let engine =
     Engine.create ~seed:11 ~params:bench_params ~sched:kind
       ~registry:(Workflow.registry [ dial_wf ]) ()
   in
   deploy_dial engine;
+  setup engine;
   Engine.reset_global_stats ();
   Gc.full_major ();
   let minor0 = Gc.minor_words () in

@@ -19,6 +19,7 @@ let experiments =
     ("ir", Ir_bench.run, "tree-walker vs QVM compiled engine (writes BENCH_ir.json)");
     ("engine", Engine_bench.run, "timer-wheel vs seed-heap simulator throughput + merge cache (writes BENCH_engine.json)");
     ("place", Place.run, "flat vs topology-aware placement + joint merge decision (writes BENCH_place.json)");
+    ("obs", Obs_bench.run, "span-recorder overhead + live-profiler decision fidelity (writes BENCH_obs.json)");
   ]
 
 let usage () =
@@ -39,6 +40,7 @@ let () =
           Ir_bench.smoke_flag := true;
           Engine_bench.smoke_flag := true;
           Place.smoke_flag := true;
+          Obs_bench.smoke_flag := true;
           false
         end
         else true)

@@ -8,7 +8,8 @@
      quilt bench compose-post        baseline-vs-quilt latency comparison
      quilt adapt path-shift          online control plane on a drift scenario
      quilt chaos crashstorm          fault injection across the three arms
-     quilt place compose-post        place a workflow on the example cluster *)
+     quilt place compose-post        place a workflow on the example cluster
+     quilt obs compose-post          span tracing + live-profiler re-decision *)
 
 module Engine = Quilt_platform.Engine
 module Loadgen = Quilt_platform.Loadgen
@@ -150,7 +151,7 @@ let with_engine_stats enabled f =
         (100.0 *. float_of_int hits /. float_of_int lookups)
   end
 
-let adapt_cmd smoke no_controller seed engine_stats scenario =
+let adapt_cmd (seed, smoke, engine_stats) no_controller scenario =
   with_engine_stats engine_stats @@ fun () ->
   let run wc =
     match Quilt_control.Scenario.run ~smoke ~seed ~with_controller:wc scenario with
@@ -175,7 +176,7 @@ let adapt_cmd smoke no_controller seed engine_stats scenario =
     | _ -> ()
   end
 
-let chaos_cmd smoke seed engine_stats policy_name scenario =
+let chaos_cmd (seed, smoke, engine_stats) policy_name scenario =
   with_engine_stats engine_stats @@ fun () ->
   let module Fs = Quilt_fault.Scenario in
   let module Policy = Quilt_fault.Policy in
@@ -198,8 +199,9 @@ let chaos_cmd smoke seed engine_stats policy_name scenario =
         (if smoke then ", smoke" else "");
       List.iter Fs.print_outcome outcomes
 
-let place_cmd async policy_name rate duration seed engine_stats rebalance name =
+let place_cmd async policy_name rate duration (seed, smoke, engine_stats) rebalance name =
   with_engine_stats engine_stats @@ fun () ->
+  let duration = if smoke then Float.min duration 6.0 else duration in
   let module Topology = Quilt_place.Topology in
   let module Placement = Quilt_place.Placement in
   let policy =
@@ -277,6 +279,89 @@ let place_cmd async policy_name rate duration seed engine_stats rebalance name =
               e.Quilt_control.Rebalancer.ev_detail)
         (Quilt_control.Rebalancer.events r)
 
+(* quilt obs: run the merged-vs-unmerged comparison with the span recorder
+   attached, close the profile→merge loop by re-deciding from the observed
+   spans, and export Chrome-trace / folded-flamegraph / metrics files. *)
+let obs_cmd async rate duration sample trace_out flame_out metrics_out
+    (seed, smoke, engine_stats) name =
+  with_engine_stats engine_stats @@ fun () ->
+  let module Recorder = Quilt_obs.Recorder in
+  let module Profiler = Quilt_obs.Profiler in
+  let module Metrics = Quilt_obs.Metrics in
+  let module Export = Quilt_obs.Export in
+  let wf = find_workflow ~async name in
+  let duration = if smoke then Float.min duration 6.0 else duration in
+  let cfg = { Config.default with Config.seed = Config.default.Config.seed + seed } in
+  let plan =
+    match Quilt.optimize cfg ~workflows:[ wf ] wf with
+    | Ok t -> t
+    | Error e ->
+        Printf.eprintf "optimize failed: %s\n" e;
+        exit 1
+  in
+  let registry = Metrics.create () in
+  let run_arm ~arm ~apply_plan =
+    let engine = Quilt.fresh_platform ~seed:(7 + seed) ~workflows:[ wf ] () in
+    if apply_plan then Quilt.apply engine plan;
+    let recorder = Recorder.create ~sample_period:sample ~seed () in
+    Recorder.attach recorder engine;
+    let res =
+      Loadgen.run_open_loop engine ~entry:wf.Workflow.entry ~gen_req:wf.Workflow.gen_req
+        ~rate_rps:rate ~duration_us:(duration *. 1e6)
+        ~warmup_us:(Float.min (duration *. 1e6 /. 4.0) 10_000_000.0)
+        ~seed ()
+    in
+    let labels = [ ("arm", arm); ("workflow", name) ] in
+    Metrics.record_result registry ~labels res;
+    Metrics.record_engine registry ~labels engine;
+    Metrics.record_recorder registry ~labels recorder;
+    (res, recorder)
+  in
+  let b, rb = run_arm ~arm:"baseline" ~apply_plan:false in
+  let q, rq = run_arm ~arm:"quilt" ~apply_plan:true in
+  Printf.printf "workflow %s at %.0f rps for %.0f s, head-sampling 1/%d:\n" name rate duration
+    sample;
+  let pr label (r : Loadgen.result) recorder =
+    Printf.printf
+      "  %-8s median %7.2f ms  p99 %7.2f ms | %d/%d roots sampled, %d spans (%d dropped)\n"
+      label (Loadgen.median_ms r) (Loadgen.p99_ms r)
+      (Recorder.sampled_roots recorder)
+      (Recorder.seen_roots recorder) (Recorder.recorded recorder) (Recorder.dropped recorder)
+  in
+  pr "baseline" b rb;
+  pr "quilt" q rq;
+  (* Close the loop: re-decide from the baseline arm's observed spans and
+     compare with the ground-truth plan's grouping. *)
+  (match Profiler.callgraph ~code_edges:wf.Workflow.code_edges ~entry:wf.Workflow.entry rb with
+  | Error e -> Printf.printf "live profile: %s\n" e
+  | Ok g -> (
+      let g = Quilt.with_optin wf g in
+      match Quilt.optimize ~graph:g cfg ~workflows:[ wf ] wf with
+      | Error e -> Printf.printf "live re-decision failed: %s\n" e
+      | Ok live ->
+          let fp_truth = Quilt_control.Controller.fingerprint plan in
+          let fp_live = Quilt_control.Controller.fingerprint live in
+          Printf.printf "live-profiler decision %s ground truth [%s]\n"
+            (if String.equal fp_live fp_truth then "agrees with" else "DIVERGES from")
+            fp_live));
+  (match trace_out with
+  | Some path ->
+      Export.write_file path
+        (Quilt_util.Json.to_string (Export.chrome_trace [ ("baseline", rb); ("quilt", rq) ]));
+      Printf.printf "wrote Chrome trace (chrome://tracing, Perfetto) to %s\n" path
+  | None -> ());
+  (match flame_out with
+  | Some path ->
+      let lines = Export.folded ~prefix:"baseline" rb @ Export.folded ~prefix:"quilt" rq in
+      Export.write_file path (Export.folded_to_string lines);
+      Printf.printf "wrote folded flamegraph stacks to %s\n" path
+  | None -> ());
+  match metrics_out with
+  | Some path ->
+      Export.write_file path (Quilt_util.Json.to_string (Metrics.snapshot registry));
+      Printf.printf "wrote metrics snapshot to %s\n" path
+  | None -> ()
+
 (* --- cmdliner wiring --- *)
 
 open Cmdliner
@@ -312,20 +397,21 @@ let merge_t =
     (Cmd.info "merge" ~doc:"Run the Figure-5 merge pipeline over a whole workflow (§5)")
     Term.(const merge_cmd $ async_flag $ dump $ req $ workflow_arg)
 
+(* Shared flag wiring: every load-driving subcommand takes the same
+   --seed/--smoke/--engine-stats trio (bundled into one term so a command
+   adds all three with a single [$ run_flags]) and the same --rate and
+   --duration shapes. *)
+
 let seed_flag =
   Arg.(
     value & opt int 0
     & info [ "seed" ] ~docv:"SEED"
         ~doc:"Perturb every RNG stream; the same seed reproduces the run exactly.")
 
-let bench_t =
-  let rate = Arg.(value & opt float 50.0 & info [ "rate" ] ~docv:"RPS" ~doc:"Offered load.") in
-  let duration =
-    Arg.(value & opt float 20.0 & info [ "duration" ] ~docv:"SECONDS" ~doc:"Measured window (simulated).")
-  in
-  Cmd.v
-    (Cmd.info "bench" ~doc:"Compare baseline and Quilt deployments under load")
-    Term.(const bench_cmd $ async_flag $ rate $ duration $ seed_flag $ workflow_arg)
+let smoke_flag =
+  Arg.(
+    value & flag
+    & info [ "smoke" ] ~doc:"Shrink the run to a few virtual seconds (CI-sized).")
 
 let engine_stats_flag =
   Arg.(
@@ -335,8 +421,27 @@ let engine_stats_flag =
           "Print simulator throughput (events/sec, peak event-queue depth) and the merge \
            cache's hit rate after the run.")
 
+let run_flags =
+  Term.(
+    const (fun seed smoke engine_stats -> (seed, smoke, engine_stats))
+    $ seed_flag $ smoke_flag $ engine_stats_flag)
+
+let rate_flag default =
+  Arg.(value & opt float default & info [ "rate" ] ~docv:"RPS" ~doc:"Offered load.")
+
+let duration_flag default =
+  Arg.(
+    value & opt float default
+    & info [ "duration" ] ~docv:"SECONDS" ~doc:"Measured window (simulated).")
+
+let bench_t =
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Compare baseline and Quilt deployments under load")
+    Term.(
+      const bench_cmd $ async_flag $ rate_flag 50.0 $ duration_flag 20.0 $ seed_flag
+      $ workflow_arg)
+
 let adapt_t =
-  let smoke = Arg.(value & flag & info [ "smoke" ] ~doc:"Shrink every phase to a few virtual seconds.") in
   let no_controller =
     Arg.(value & flag & info [ "no-controller" ] ~doc:"Run the phased workload without the controller.")
   in
@@ -350,10 +455,9 @@ let adapt_t =
   in
   Cmd.v
     (Cmd.info "adapt" ~doc:"Run an adaptive scenario under the online control plane")
-    Term.(const adapt_cmd $ smoke $ no_controller $ seed_flag $ engine_stats_flag $ scenario)
+    Term.(const adapt_cmd $ run_flags $ no_controller $ scenario)
 
 let chaos_t =
-  let smoke = Arg.(value & flag & info [ "smoke" ] ~doc:"Shrink each run to ~12 virtual seconds.") in
   let policy =
     Arg.(
       value & opt string "retry"
@@ -371,7 +475,7 @@ let chaos_t =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Inject deterministic faults and compare baseline/CM/quilt availability")
-    Term.(const chaos_cmd $ smoke $ seed_flag $ engine_stats_flag $ policy $ scenario)
+    Term.(const chaos_cmd $ run_flags $ policy $ scenario)
 
 let place_t =
   let policy =
@@ -379,10 +483,6 @@ let place_t =
       value & opt string "locality"
       & info [ "policy" ] ~docv:"POLICY"
           ~doc:"Placement policy: first-fit, best-fit, locality, or spread.")
-  in
-  let rate = Arg.(value & opt float 10.0 & info [ "rate" ] ~docv:"RPS" ~doc:"Offered load.") in
-  let duration =
-    Arg.(value & opt float 20.0 & info [ "duration" ] ~docv:"SECONDS" ~doc:"Measured window (simulated).")
   in
   let rebalance =
     Arg.(
@@ -394,12 +494,34 @@ let place_t =
     (Cmd.info "place"
        ~doc:"Place a workflow on the example cluster topology and measure it under load")
     Term.(
-      const place_cmd $ async_flag $ policy $ rate $ duration $ seed_flag $ engine_stats_flag
+      const place_cmd $ async_flag $ policy $ rate_flag 10.0 $ duration_flag 20.0 $ run_flags
       $ rebalance $ workflow_arg)
+
+let obs_t =
+  let sample =
+    Arg.(
+      value & opt int 1
+      & info [ "sample" ] ~docv:"N"
+          ~doc:"Head-sample 1 in $(docv) root requests (deterministic per seed; 1 = all).")
+  in
+  let out name doc =
+    Arg.(value & opt (some string) None & info [ name ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:
+         "Trace a merged-vs-unmerged run, re-decide from the observed spans, and export \
+          traces/flamegraphs/metrics")
+    Term.(
+      const obs_cmd $ async_flag $ rate_flag 50.0 $ duration_flag 20.0 $ sample
+      $ out "trace-out" "Write Chrome trace-event JSON (chrome://tracing, Perfetto) here."
+      $ out "flame-out" "Write folded flamegraph stacks (flamegraph.pl, speedscope) here."
+      $ out "metrics-out" "Write the metrics-registry snapshot JSON here."
+      $ run_flags $ workflow_arg)
 
 let () =
   let doc = "Quilt: resource-aware merging of serverless workflows (SOSP 2025), reproduced in OCaml" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "quilt" ~doc)
-          [ list_t; inspect_t; decide_t; merge_t; bench_t; adapt_t; chaos_t; place_t ]))
+          [ list_t; inspect_t; decide_t; merge_t; bench_t; adapt_t; chaos_t; place_t; obs_t ]))

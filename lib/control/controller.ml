@@ -82,6 +82,11 @@ type t = {
   workflows : Workflow.t list;
   window : Window.t;
   detector : Detector.t;
+  (* Observability mode: window graphs come from the live profiler over
+     this recorder's span stream instead of the engine's ground-truth
+     trace store (and the profiler token stays off — production traffic
+     does not pay the profiled hop overhead). *)
+  obs : Quilt_obs.Recorder.t option;
   mutable current : Quilt.t;
   mutable state : phase_state;
   mutable events_rev : event list;
@@ -123,7 +128,7 @@ let fingerprint (plan : Quilt.t) =
   in
   String.concat "|" (List.sort compare (List.map dep_fp plan.Quilt.deployments))
 
-let create engine ?(cfg = default_config) ~quilt_cfg ~workflows ~plan () =
+let create engine ?(cfg = default_config) ?obs ~quilt_cfg ~workflows ~plan () =
   let window =
     Window.create engine ~workflow:plan.Quilt.workflow ~window_us:cfg.window_us ()
   in
@@ -138,6 +143,7 @@ let create engine ?(cfg = default_config) ~quilt_cfg ~workflows ~plan () =
     workflows;
     window;
     detector;
+    obs;
     current = plan;
     state = Stable;
     events_rev = [];
@@ -149,6 +155,32 @@ let create engine ?(cfg = default_config) ~quilt_cfg ~workflows ~plan () =
 
 let plan t = t.current
 let events t = List.rev t.events_rev
+
+(* Profile source for the current window: ground-truth trace store by
+   default, live-profiler reconstruction in observability mode.  Both
+   yield per-invocation resources and sampling-invariant rates/α, so the
+   drift comparison against the deployed plan's graph is source-agnostic. *)
+let window_graph t =
+  match t.obs with
+  | None -> Window.graph t.window
+  | Some r -> (
+      let wf = t.current.Quilt.workflow in
+      match
+        Quilt_obs.Profiler.callgraph ~since:(Window.start_of t.window)
+          ~code_edges:wf.Workflow.code_edges ~entry:wf.Workflow.entry r
+      with
+      | Error e -> Error e
+      | Ok g -> Ok (Quilt.with_optin wf g))
+
+let window_invocations t =
+  match t.obs with
+  | None -> Window.invocations_in_window t.window
+  | Some r ->
+      (* Scale the sampled count back up so the min-invocations gate keeps
+         its meaning under 1/N head sampling. *)
+      Quilt_obs.Profiler.invocations ~since:(Window.start_of t.window)
+        ~entry:t.current.Quilt.workflow.Workflow.entry r
+      * Quilt_obs.Recorder.sample_period r
 
 let log t kind detail =
   t.events_rev <- { ev_ts = Engine.now t.engine; ev_kind = kind; ev_detail = detail } :: t.events_rev
@@ -209,7 +241,7 @@ let judge_canary t ~prev ~switched ~pre =
 let attempt_remerge t report =
   let now = Engine.now t.engine in
   let wf = t.current.Quilt.workflow in
-  match Window.graph t.window with
+  match window_graph t with
   | Error e ->
       Detector.note_action t.detector ~now;
       log t Remerge_failed (Printf.sprintf "window graph: %s" e)
@@ -289,11 +321,11 @@ let tick t =
         judge_canary t ~prev ~switched ~pre
   | Stable when watchdog t ~now -> ()
   | Stable -> (
-      let n = Window.invocations_in_window t.window in
+      let n = window_invocations t in
       if n < t.cfg.min_invocations then
         log t Skipped (Printf.sprintf "%d invocations in window (< %d)" n t.cfg.min_invocations)
       else
-        match Window.graph t.window with
+        match window_graph t with
         | Error e -> log t Skipped e
         | Ok wg -> (
             let report = Drift.detect ~threshold:t.cfg.threshold t.current.Quilt.callgraph wg in
@@ -306,7 +338,9 @@ let tick t =
             | Detector.Trigger -> attempt_remerge t report))
 
 let start t ~until =
-  Engine.set_profiling t.engine true;
+  (* Observability mode profiles from the recorder's spans: the engine's
+     ground-truth profiler (and its per-hop latency overhead) stays off. *)
+  (match t.obs with None -> Engine.set_profiling t.engine true | Some _ -> ());
   let entry = t.current.Quilt.workflow.Workflow.entry in
   Engine.add_completion_hook t.engine (fun ~entry:e ~latency_us ~ok ->
       if e = entry then

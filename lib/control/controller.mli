@@ -74,11 +74,20 @@ type t
 val create :
   Quilt_platform.Engine.t ->
   ?cfg:config ->
+  ?obs:Quilt_obs.Recorder.t ->
   quilt_cfg:Quilt_core.Config.t ->
   workflows:Quilt_apps.Workflow.t list ->
   plan:Quilt_core.Quilt.t ->
   unit ->
   t
+(** [obs] switches the controller to observability mode: window graphs are
+    reconstructed by the live profiler ({!Quilt_obs.Profiler}) from the
+    recorder's span stream instead of the engine's ground-truth trace
+    store, the profiler token (and its per-hop latency overhead) stays
+    off, and the min-invocations gate scales sampled counts back up by the
+    recorder's sample period.  The caller must
+    {!Quilt_obs.Recorder.attach} the recorder to the engine before
+    traffic. *)
 
 val start : t -> until:float -> unit
 (** Enables profiling, registers the completion hook and schedules the

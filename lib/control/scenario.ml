@@ -190,7 +190,7 @@ let groups_of (plan : Quilt.t) =
     (fun (d : Deploy.merged_deployment) -> List.sort compare d.Deploy.members)
     plan.Quilt.deployments
 
-let run ?(smoke = false) ?(seed = 0) ~with_controller name =
+let run ?(smoke = false) ?(seed = 0) ?obs_sample ~with_controller name =
   match spec_of ~smoke name with
   | Error e -> Error e
   | Ok sp -> (
@@ -206,8 +206,19 @@ let run ?(smoke = false) ?(seed = 0) ~with_controller name =
           (* Let the rolling deploys flip before traffic starts. *)
           Engine.run_until engine 2_000_000.0;
           (* Both arms pay the profiling overhead, so with/without compare
-             controller behaviour, not instrumentation cost. *)
-          Engine.set_profiling engine true;
+             controller behaviour, not instrumentation cost.  In obs mode
+             the engine profiler stays off: the controller reads the span
+             recorder instead, which adds no simulated latency. *)
+          let obs =
+            match obs_sample with
+            | None ->
+                Engine.set_profiling engine true;
+                None
+            | Some period ->
+                let r = Quilt_obs.Recorder.create ~sample_period:period ~seed () in
+                Quilt_obs.Recorder.attach r engine;
+                Some r
+          in
           sp.sp_arm engine;
           let total_us =
             List.fold_left (fun a p -> a +. p.Loadgen.ph_duration_us) 0.0 sp.sp_phases
@@ -216,7 +227,7 @@ let run ?(smoke = false) ?(seed = 0) ~with_controller name =
             if not with_controller then None
             else begin
               let c =
-                Controller.create engine ~cfg:sp.sp_ctl_cfg ~quilt_cfg:sp.sp_ctl_quilt_cfg
+                Controller.create engine ~cfg:sp.sp_ctl_cfg ?obs ~quilt_cfg:sp.sp_ctl_quilt_cfg
                   ~workflows:[ wf ] ~plan ()
               in
               Controller.start c ~until:(Engine.now engine +. total_us +. 10_000_000.0);

@@ -39,10 +39,19 @@ type outcome = {
 val names : string list
 
 val run :
-  ?smoke:bool -> ?seed:int -> with_controller:bool -> string -> (outcome, string) result
+  ?smoke:bool ->
+  ?seed:int ->
+  ?obs_sample:int ->
+  with_controller:bool ->
+  string ->
+  (outcome, string) result
 (** [smoke] shrinks every phase and the offline profile to a few virtual
     seconds (single-digit wall seconds).  [seed] (default 0) perturbs the
     engine and workload RNG streams for reproducible-but-different runs.
+    [obs_sample] switches the run to observability mode: a span recorder
+    with that head-sampling period is attached, the controller (if any)
+    re-decides from the live profiler's reconstructed windows, and the
+    engine's own profiler — with its per-hop latency overhead — stays off.
     [Error] for unknown scenario names or when the initial offline
     optimization fails. *)
 

@@ -22,6 +22,11 @@ val create :
 
 val window_us : t -> float
 
+val start_of : t -> float
+(** The current window's left edge, [max (now − window) floor] — also the
+    [since] an alternative profile source (the live profiler of
+    [Quilt_obs]) should fold spans from. *)
+
 val advance : t -> unit
 (** Evicts spans and samples older than [now − window·(1+slack)] from the
     engine's store.  Call once per controller tick. *)

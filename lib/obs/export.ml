@@ -1,0 +1,124 @@
+module Json = Quilt_util.Json
+
+(* --- Chrome trace-event format --- *)
+
+let span_event ~pid (s : Recorder.span) =
+  let dur = Float.max 0.0 (s.Recorder.sp_end -. s.Recorder.sp_start) in
+  let args =
+    [
+      ("rid", Json.Int s.Recorder.sp_rid);
+      ("node", Json.Int s.Recorder.sp_node);
+      ("queue_us", Json.Float (Recorder.queue_us s));
+      ("hop_us", Json.Float (Recorder.hop_us s));
+      ("cpu_us", Json.Float s.Recorder.sp_cpu_us);
+      ("mem_mb", Json.Float s.Recorder.sp_mem_mb);
+      ("ok", Json.Bool s.Recorder.sp_ok);
+    ]
+  in
+  let args =
+    match s.Recorder.sp_caller with
+    | Some c -> ("caller", Json.String c) :: args
+    | None -> args
+  in
+  Json.Obj
+    [
+      ("name", Json.String s.Recorder.sp_fn);
+      ("cat", Json.String (if s.Recorder.sp_local then "local" else "task"));
+      ("ph", Json.String "X");
+      ("ts", Json.Float s.Recorder.sp_start);
+      ("dur", Json.Float dur);
+      ("pid", Json.Int pid);
+      ("tid", Json.Int s.Recorder.sp_cid);
+      ("args", Json.Obj args);
+    ]
+
+let process_name ~pid name =
+  Json.Obj
+    [
+      ("name", Json.String "process_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.String name) ]);
+    ]
+
+let chrome_trace arms =
+  let events = ref [] in
+  List.iteri
+    (fun pid (name, r) ->
+      events := process_name ~pid name :: !events;
+      Recorder.iter r (fun s -> events := span_event ~pid s :: !events))
+    arms;
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+(* --- Folded flamegraph stacks --- *)
+
+(* Stack reconstruction: a span's parent is the span of the same request
+   whose function matches its recorded caller and whose execution interval
+   contains the child's start — the tightest such enclosure when several
+   invocations of the caller overlap.  Weight is the span's own modeled
+   CPU, so merged chains fold into one tall tower over the merged entry
+   while the unmerged baseline spreads across roots. *)
+let folded ?prefix r =
+  let by_rid : (int, Recorder.span list ref) Hashtbl.t = Hashtbl.create 64 in
+  Recorder.iter r (fun s ->
+      match Hashtbl.find_opt by_rid s.Recorder.sp_rid with
+      | Some l -> l := s :: !l
+      | None -> Hashtbl.add by_rid s.Recorder.sp_rid (ref [ s ]));
+  let stacks : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let root = match prefix with Some p -> [ p ] | None -> [] in
+  Hashtbl.iter
+    (fun _ spans ->
+      let spans = Array.of_list !spans in
+      let parent_of i =
+        let s = spans.(i) in
+        match s.Recorder.sp_caller with
+        | None -> None
+        | Some caller ->
+            let best = ref None in
+            Array.iteri
+              (fun j (p : Recorder.span) ->
+                if
+                  j <> i
+                  && String.equal p.Recorder.sp_fn caller
+                  && p.Recorder.sp_start <= s.Recorder.sp_send
+                  && p.Recorder.sp_end >= s.Recorder.sp_send
+                then
+                  match !best with
+                  | Some (_, bs) when bs >= p.Recorder.sp_start -> ()
+                  | _ -> best := Some (j, p.Recorder.sp_start))
+              spans;
+            Option.map fst !best
+      in
+      let rec stack_of i depth =
+        if depth > 64 then [ spans.(i).Recorder.sp_fn ]
+        else
+          match parent_of i with
+          | None -> [ spans.(i).Recorder.sp_fn ]
+          | Some p -> spans.(i).Recorder.sp_fn :: stack_of p (depth + 1)
+      in
+      Array.iteri
+        (fun i (s : Recorder.span) ->
+          let frames = root @ List.rev (stack_of i 0) in
+          let key = String.concat ";" frames in
+          let w = max 1 (int_of_float (Float.round s.Recorder.sp_cpu_us)) in
+          match Hashtbl.find_opt stacks key with
+          | Some n -> Hashtbl.replace stacks key (n + w)
+          | None -> Hashtbl.add stacks key w)
+        spans)
+    by_rid;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) stacks []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let folded_to_string lines =
+  let b = Buffer.create 4096 in
+  List.iter (fun (stack, w) -> Buffer.add_string b (Printf.sprintf "%s %d\n" stack w)) lines;
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)

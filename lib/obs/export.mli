@@ -1,0 +1,26 @@
+(** Exporters: Chrome trace-event JSON, folded flamegraph stacks, files.
+
+    - {!chrome_trace} emits the Trace Event Format (the JSON array form)
+      that [chrome://tracing] and Perfetto load: one ["X"] complete event
+      per span, [pid] = arm index (each named arm renders as its own
+      process, labeled via ["process_name"] metadata), [tid] = container
+      id — so a merged arm visually collapses onto few tracks while the
+      unmerged baseline fans out across containers.
+    - {!folded} produces Brendan Gregg's folded-stacks format
+      ([root;child;leaf weight] lines): call stacks are reconstructed per
+      traced request by caller-name and interval containment, weighted by
+      each span's modeled CPU (µs), ready for [flamegraph.pl] or speedscope. *)
+
+val chrome_trace : (string * Recorder.t) list -> Quilt_util.Json.t
+(** [chrome_trace arms] with one [(name, recorder)] per arm. *)
+
+val folded : ?prefix:string -> Recorder.t -> (string * int) list
+(** Aggregated [stack, weight] pairs, sorted by stack; [prefix] roots
+    every stack under an arm label (for merged-vs-unmerged diffs in one
+    graph). *)
+
+val folded_to_string : (string * int) list -> string
+(** One [stack weight\n] line each. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)

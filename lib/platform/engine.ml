@@ -47,13 +47,53 @@ type container = {
 
 and monitor_cell = { mutable m_cpu : float; mutable m_inv : int; mutable m_peak : float }
 
+(* --- Observability hook points (driven by quilt_obs) --- *)
+
+(* The span sink observes; it never schedules events, mutates engine state,
+   or draws from the engine RNG — so installing or removing one cannot
+   perturb the simulation, only its wall-clock cost. *)
+type span_sink = {
+  sk_sample : int -> bool;
+      (* Head-sampling verdict for a fresh root request id, consulted once
+         per [submit]; the verdict sticks for the whole call chain. *)
+  sk_task :
+    rid:int ->
+    fn:string ->
+    caller:string option ->
+    cid:int ->
+    node:int ->
+    t_send:float ->
+    t_enq:float ->
+    t_start:float ->
+    t_end:float ->
+    cpu_us:float ->
+    mem_mb:float ->
+    async:bool ->
+    local:bool ->
+    ok:bool ->
+    unit;
+}
+
+(* Per-hop observability context, carried alongside the continuation from
+   the moment a traced request (or one of its remote children) is sent
+   until its completion record is emitted.  Untraced hops carry [None] —
+   the common case — so the disabled path allocates nothing extra. *)
+type obs_ctx = {
+  o_rid : int;
+  o_caller : string option;
+  o_async : bool;
+  o_send : float;  (* when the caller issued the hop *)
+  mutable o_enq : float;  (* when the controller received it *)
+  mutable o_start : float;  (* when the handler began executing *)
+}
+
 type deployment = {
   mutable dspec : spec;
   mutable pool : container list;
   mutable rr : int;
   mutable peak : int;
   mutable draining : bool;  (* re-entrancy guard for drain_queue *)
-  waitq : (Calltree.node * (bool -> unit)) Queue.t;
+  waitq : (Calltree.node * obs_ctx option * (bool -> unit)) Queue.t;
   members_tbl : (string, unit) Hashtbl.t;  (* interned merge-member set *)
   mutable scratch : container array;  (* reused alive-pool buffer for pick_container *)
 }
@@ -145,12 +185,16 @@ type t = {
   mutable c_hop_timeout : int;
   (* --- cluster topology (quilt_place); None keeps every seed path --- *)
   mutable cluster : cluster_state option;
+  (* --- observability (quilt_obs); None keeps every seed path --- *)
+  mutable span_sink : span_sink option;
+  mutable next_rid : int;
 }
 
 (* Per-request context on the deployment that owns the root task.  The
    guard table only exists for requests that actually hit a guarded edge. *)
 type tctx = {
   tid : int;
+  t_orid : int;  (* traced root request id; -1 on the untraced fast path *)
   mutable t_failed : bool;
   mutable guard_counts : (string * string, int ref) Hashtbl.t option;
 }
@@ -211,7 +255,11 @@ let create ?(seed = 1) ?(params = Params.default) ?(sched = Sched.Wheel) ~regist
     c_net_drop = 0;
     c_hop_timeout = 0;
     cluster = None;
+    span_sink = None;
+    next_rid = 0;
   }
+
+let set_span_sink sim s = sim.span_sink <- s
 
 let add_completion_hook sim h = sim.completion_hooks <- h :: sim.completion_hooks
 
@@ -742,6 +790,21 @@ let record_monitor sim c (node : Calltree.node) =
       }
   end
 
+(* Completion record for one traced remote task — the whole handler
+   execution in its container.  CPU and memory report the modeled
+   per-invocation demand (own phases plus the server-side RPC cost), the
+   same series the §8 monitor cells feed the ground-truth profiler, so the
+   live profiler's reconstruction stays comparable. *)
+let emit_task_span sim (o : obs_ctx) c (node : Calltree.node) ~ok =
+  match sim.span_sink with
+  | Some sk ->
+      sk.sk_task ~rid:o.o_rid ~fn:node.Calltree.fn ~caller:o.o_caller ~cid:c.cid
+        ~node:c.c_node ~t_send:o.o_send ~t_enq:o.o_enq ~t_start:o.o_start ~t_end:sim.now_
+        ~cpu_us:(node.Calltree.own_cpu_us +. sim.prm.Params.rpc_server_cpu_us)
+        ~mem_mb:(1.0 +. node.Calltree.own_mem_mb)
+        ~async:o.o_async ~local:false ~ok
+  | None -> ()
+
 let rec exec_node sim dep c tctx (node : Calltree.node) (k_done : bool -> unit) =
   let held = ref 0.0 in
   (* Allocated on the first async call/join; most nodes never need it. *)
@@ -762,6 +825,21 @@ let rec exec_node sim dep c tctx (node : Calltree.node) (k_done : bool -> unit) 
       held := 0.0
     end;
     k_done ok
+  in
+  (* Traced-request member calls: wrap the continuation so the call's
+     completion record is emitted with the child's modeled demand (matching
+     the §8 monitor cells).  Returns [k] unchanged on the untraced path. *)
+  let obs_local child async k =
+    match sim.span_sink with
+    | Some sk when tctx.t_orid >= 0 ->
+        let t0 = sim.now_ in
+        fun ok ->
+          sk.sk_task ~rid:tctx.t_orid ~fn:child.Calltree.fn
+            ~caller:(Some node.Calltree.fn) ~cid:c.cid ~node:c.c_node ~t_send:t0 ~t_enq:t0
+            ~t_start:t0 ~t_end:sim.now_ ~cpu_us:child.Calltree.own_cpu_us
+            ~mem_mb:(1.0 +. child.Calltree.own_mem_mb) ~async ~local:true ~ok;
+          k ok
+    | _ -> k
   in
   let rec go phases =
     if tctx.t_failed || c.dead then finish false
@@ -803,36 +881,40 @@ let rec exec_node sim dep c tctx (node : Calltree.node) (k_done : bool -> unit) 
                   sim.c_local <- sim.c_local + 1;
                   record_span sim ~caller:(Some node.Calltree.fn) ~callee:child.Calltree.fn ~kind;
                   (* In-process call: sub-microsecond. *)
-                  exec_node sim dep c tctx child (fun ok ->
-                      record_monitor sim c child;
-                      guarded_continue ok)
+                  exec_node sim dep c tctx child
+                    (obs_local child false (fun ok ->
+                         record_monitor sim c child;
+                         guarded_continue ok))
               | `Local, Trace.Async, Some fid ->
                   sim.c_local <- sim.c_local + 1;
                   record_span sim ~caller:(Some node.Calltree.fn) ~callee:child.Calltree.fn ~kind;
                   Hashtbl.replace (futures_tbl ()) fid (`Pending (ref None));
-                  exec_node sim dep c tctx child (fun ok ->
-                      record_monitor sim c child;
-                      resolve_future fid ok);
+                  exec_node sim dep c tctx child
+                    (obs_local child true (fun ok ->
+                         record_monitor sim c child;
+                         resolve_future fid ok));
                   continue ()
               | `Local, Trace.Async, None -> failwith "Engine: async call without future id"
               | `Cm_local base, Trace.Sync, _ ->
                   record_span sim ~caller:(Some node.Calltree.fn) ~callee:child.Calltree.fn ~kind;
-                  cm_exec sim dep c tctx child base guarded_continue
+                  cm_exec sim dep c tctx child base (obs_local child false guarded_continue)
               | `Cm_local base, Trace.Async, Some fid ->
                   record_span sim ~caller:(Some node.Calltree.fn) ~callee:child.Calltree.fn ~kind;
                   Hashtbl.replace (futures_tbl ()) fid (`Pending (ref None));
-                  cm_exec sim dep c tctx child base (fun ok -> resolve_future fid ok);
+                  cm_exec sim dep c tctx child base
+                    (obs_local child true (fun ok -> resolve_future fid ok));
                   continue ()
               | `Cm_local _, Trace.Async, None -> failwith "Engine: async call without future id"
               | `Remote, Trace.Sync, _ ->
                   (* The caller pays CPU to serialize and issue the RPC. *)
                   add_compute sim c sim.prm.Params.rpc_client_cpu_us (fun () ->
-                      remote_invoke sim ~caller:(Some node.Calltree.fn) ~kind child guarded_continue)
+                      remote_invoke sim ~caller:(Some node.Calltree.fn) ~kind
+                        ~orid:tctx.t_orid child guarded_continue)
               | `Remote, Trace.Async, Some fid ->
                   Hashtbl.replace (futures_tbl ()) fid (`Pending (ref None));
                   add_compute sim c sim.prm.Params.rpc_client_cpu_us (fun () ->
-                      remote_invoke sim ~caller:(Some node.Calltree.fn) ~kind child (fun ok ->
-                          resolve_future fid ok);
+                      remote_invoke sim ~caller:(Some node.Calltree.fn) ~kind
+                        ~orid:tctx.t_orid child (fun ok -> resolve_future fid ok);
                       continue ())
               | `Remote, Trace.Async, None -> failwith "Engine: async call without future id"))
     end
@@ -854,9 +936,22 @@ and cm_exec sim dep c tctx child base_mem k =
                 release_mem c base_mem;
                 k ok)))
 
-and remote_invoke sim ~caller ~kind (child : Calltree.node) k =
+and remote_invoke sim ~caller ~kind ~orid (child : Calltree.node) k =
   sim.c_remote <- sim.c_remote + 1;
   record_span sim ~caller ~callee:child.Calltree.fn ~kind;
+  let obs =
+    if orid >= 0 then
+      Some
+        {
+          o_rid = orid;
+          o_caller = caller;
+          o_async = (match kind with Trace.Async -> true | Trace.Sync -> false);
+          o_send = sim.now_;
+          o_enq = sim.now_;
+          o_start = sim.now_;
+        }
+    else None
+  in
   (* One topology lookup per invocation prices both legs of the hop (and
      classifies it in the same-node/same-rack/cross-rack counters). *)
   let rtt_us = hop_rtt_us sim ~caller ~callee:child.Calltree.fn in
@@ -893,20 +988,21 @@ and remote_invoke sim ~caller ~kind (child : Calltree.node) k =
   | Net_ok | Net_delay _ ->
       let extra = match verdict with Net_delay d -> Float.max 0.0 d | _ -> 0.0 in
       schedule sim (leg +. extra) (fun () ->
-          dispatch sim child (fun ok ->
+          dispatch sim obs child (fun ok ->
               let back = Params.response_leg_us ?rtt_us sim.prm ~payload:child.Calltree.res in
               schedule sim back (fun () -> finish ok)))
 
-and dispatch sim (node : Calltree.node) k =
+and dispatch sim obs (node : Calltree.node) k =
+  (match obs with Some o -> o.o_enq <- sim.now_ | None -> ());
   let dep = deployment_for sim node.Calltree.fn in
-  match try_assign sim dep node k with
+  match try_assign sim dep obs node k with
   | true -> ()
-  | false -> Queue.add (node, k) dep.waitq
+  | false -> Queue.add (node, obs, k) dep.waitq
 
-and try_assign sim dep node k =
+and try_assign sim dep obs node k =
   match pick_container sim dep with
   | Some c ->
-      start_task sim dep c node k;
+      start_task sim dep c obs node k;
       true
   | None ->
       (* No pod accepts: scale up if allowed, but keep the request queued at
@@ -935,10 +1031,11 @@ and try_assign sim dep node k =
       end;
       false
 
-and start_task sim dep c node k =
+and start_task sim dep c obs node k =
   sim.next_tid <- sim.next_tid + 1;
   let tid = sim.next_tid in
-  let tctx = { tid; t_failed = false; guard_counts = None } in
+  let t_orid = match obs with Some o -> o.o_rid | None -> -1 in
+  let tctx = { tid; t_orid; t_failed = false; guard_counts = None } in
   let done_once = ref false in
   let k1 ok =
     if not !done_once then begin
@@ -956,6 +1053,7 @@ and start_task sim dep c node k =
                per-function split instead. *)
             record_monitor sim c node)
       end;
+      (match obs with Some o -> emit_task_span sim o c node ~ok | None -> ());
       k ok;
       drain_queue sim dep
     end
@@ -972,6 +1070,7 @@ and start_task sim dep c node k =
         c.invocations > 0 && idle_for > sim.prm.Params.idle_specialize_timeout_us && c.n_tasks = 1
       in
       let body () =
+        (match obs with Some o -> o.o_start <- sim.now_ | None -> ());
         if c.dead then k1 false
         else
           (* Receiving the invocation costs CPU before the handler runs. *)
@@ -990,12 +1089,12 @@ and drain_queue sim dep =
     dep.draining <- true;
     let continue = ref true in
     while !continue && not (Queue.is_empty dep.waitq) do
-      let node, k = Queue.pop dep.waitq in
-      if not (try_assign sim dep node k) then begin
+      let node, obs, k = Queue.pop dep.waitq in
+      if not (try_assign sim dep obs node k) then begin
         (* No capacity: put the request back at the head. *)
         let rest = Queue.create () in
         Queue.transfer dep.waitq rest;
-        Queue.add (node, k) dep.waitq;
+        Queue.add (node, obs, k) dep.waitq;
         Queue.transfer rest dep.waitq;
         continue := false
       end
@@ -1062,6 +1161,23 @@ let submit sim ~entry ~req ~on_done =
   let t0 = sim.now_ in
   let node = calltree sim ~entry ~req in
   record_span sim ~caller:None ~callee:entry ~kind:Trace.Sync;
+  sim.next_rid <- sim.next_rid + 1;
+  (* Head sampling: the sink decides once per root request; the verdict
+     propagates down the chain via [obs]/[tctx.t_orid]. *)
+  let obs =
+    match sim.span_sink with
+    | Some sk when sk.sk_sample sim.next_rid ->
+        Some
+          {
+            o_rid = sim.next_rid;
+            o_caller = None;
+            o_async = false;
+            o_send = t0;
+            o_enq = t0;
+            o_start = t0;
+          }
+    | _ -> None
+  in
   let complete ok =
     if ok then sim.c_done <- sim.c_done + 1 else sim.c_fail <- sim.c_fail + 1;
     let latency_us = sim.now_ -. t0 in
@@ -1083,7 +1199,7 @@ let submit sim ~entry ~req ~on_done =
   | Net_ok | Net_delay _ ->
       let extra = match verdict with Net_delay d -> Float.max 0.0 d | _ -> 0.0 in
       schedule sim (leg +. extra) (fun () ->
-          dispatch sim node (fun ok ->
+          dispatch sim obs node (fun ok ->
               let back = Params.response_leg_us sim.prm ~payload:node.Calltree.res in
               schedule sim back (fun () -> complete ok)))
 

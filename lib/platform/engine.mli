@@ -144,6 +144,52 @@ val global_stats : unit -> int * int
 
 val reset_global_stats : unit -> unit
 
+(** {1 Observability hook points}
+
+    [Quilt_obs.Recorder] drives these.  The sink observes: it never
+    schedules events, mutates engine state, or draws from the engine RNG —
+    so installing (or removing) one cannot perturb the simulation, only its
+    wall-clock cost.  With no sink installed every hook is a no-op and the
+    hot path allocates nothing extra. *)
+
+type span_sink = {
+  sk_sample : int -> bool;
+      (** Head-sampling verdict for a fresh root request id, consulted once
+          per {!submit}; the verdict sticks for the whole call chain
+          (children of a traced request are traced, children of an untraced
+          one are not). *)
+  sk_task :
+    rid:int ->
+    fn:string ->
+    caller:string option ->
+    cid:int ->
+    node:int ->
+    t_send:float ->
+    t_enq:float ->
+    t_start:float ->
+    t_end:float ->
+    cpu_us:float ->
+    mem_mb:float ->
+    async:bool ->
+    local:bool ->
+    ok:bool ->
+    unit;
+      (** One completed invocation of a traced request. [rid] is the root
+          request id shared by every span of the chain; [caller] is [None]
+          at the client ingress.  Remote tasks ([local = false]) report
+          [t_send] (caller issued the hop) ≤ [t_enq] (controller received
+          it) ≤ [t_start] (handler began) ≤ [t_end], so queueing and hop
+          legs are recoverable; in-process and CM member calls
+          ([local = true]) collapse the first three.  [cpu_us]/[mem_mb] are
+          the modeled per-invocation demand — the same series the §8
+          monitor cells feed — so live-profiler reconstructions stay
+          comparable with ground truth. *)
+}
+
+val set_span_sink : t -> span_sink option -> unit
+(** Installs (or clears) the span sink.  Sinks do not survive engine
+    replacement; attach before traffic. *)
+
 (** {1 Fault-injection hook points}
 
     The deterministic fault injector ([Quilt_fault.Plan]) drives these.

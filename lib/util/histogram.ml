@@ -49,6 +49,18 @@ let value_of idx =
     float_of_int base +. (float_of_int width /. 2.0)
   end
 
+(* Bounds of a bucket's value range: [lo, hi).  The first octave's buckets
+   are unit-wide at integer boundaries; octave [o] has width 2^(o-1). *)
+let bounds_of idx =
+  if idx < sub then (float_of_int idx, float_of_int (idx + 1))
+  else begin
+    let octave = idx / sub in
+    let pos = idx mod sub in
+    let base = (sub + pos) lsl (octave - 1) in
+    let width = 1 lsl (octave - 1) in
+    (float_of_int base, float_of_int (base + width))
+  end
+
 let record_n h v n =
   if n > 0 then begin
     let idx = index_of v in
@@ -81,7 +93,11 @@ let quantile h q =
          end
        done
      with Exit -> ());
-    !result
+    (* A bucket's representative (its midpoint) can overshoot the observed
+       extremes — e.g. a single observation of 100.0 lands in [100, 101),
+       whose midpoint is 100.5 — so p0/p100 are pinned to the exact
+       recorded min/max instead of the bucket resolution. *)
+    if !result < h.vmin then h.vmin else if !result > h.vmax then h.vmax else !result
   end
 
 let median h = quantile h 0.5
@@ -98,6 +114,20 @@ let merge_into ~dst src =
   dst.sum <- dst.sum +. src.sum;
   if src.vmin < dst.vmin then dst.vmin <- src.vmin;
   if src.vmax > dst.vmax then dst.vmax <- src.vmax
+
+let iter_buckets h f =
+  Array.iteri
+    (fun i n ->
+      if n > 0 then begin
+        let lo, hi = bounds_of i in
+        f ~lo ~hi ~count:n
+      end)
+    h.buckets
+
+let num_nonempty_buckets h =
+  let n = ref 0 in
+  Array.iter (fun c -> if c > 0 then incr n) h.buckets;
+  !n
 
 let reset h =
   Array.fill h.buckets 0 (Array.length h.buckets) 0;

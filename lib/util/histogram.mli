@@ -22,7 +22,11 @@ val record_n : t -> float -> int -> unit
 val count : t -> int
 
 val quantile : t -> float -> float
-(** [quantile h q] with [q] in [\[0,1\]]; returns 0 on an empty histogram. *)
+(** [quantile h q] with [q] in [\[0,1\]]; returns 0 on an empty histogram.
+    The answer is exact to the bucket resolution and always lies inside
+    [\[min_value, max_value\]] — in particular [quantile h 0.0 = min_value]
+    and [quantile h 1.0 = max_value] up to that clamp, even with a single
+    observation. *)
 
 val median : t -> float
 
@@ -34,5 +38,13 @@ val min_value : t -> float
 
 val merge_into : dst:t -> t -> unit
 (** Accumulates the source histogram's buckets into [dst]. *)
+
+val iter_buckets : t -> (lo:float -> hi:float -> count:int -> unit) -> unit
+(** Iterates the non-empty buckets in increasing value order; each callback
+    reports the bucket's half-open value range [\[lo, hi)] and its
+    observation count.  Σ count = {!count}.  This is the exporter-facing
+    view of the internal log-linear layout. *)
+
+val num_nonempty_buckets : t -> int
 
 val reset : t -> unit

@@ -362,6 +362,40 @@ let test_sched_parity_through_merge_path () =
   let b = run Quilt_platform.Sched.Legacy_heap in
   Alcotest.(check bool) "merge path bit-identical across schedulers" true (a = b)
 
+(* The process-wide scheduler stats are atomics because bench fan-outs
+   drive engines from a Domain pool.  Whatever the interleaving of the
+   per-engine syncs, the global totals must come out exactly additive
+   (events) and max-combining (peak depth) — a lost update would show up
+   as a shortfall against the per-engine counters. *)
+let test_global_stats_race_free_under_domains () =
+  let module Pool = Quilt_util.Pool in
+  let module Rng = Quilt_util.Rng in
+  Engine.reset_global_stats ();
+  Alcotest.(check (pair int int)) "reset zeroes both" (0, 0) (Engine.global_stats ());
+  let run seed =
+    let engine = Engine.create ~seed ~registry:(Workflow.registry [ dial_wf ]) () in
+    deploy_dial engine;
+    let _ =
+      Loadgen.run_open_loop engine ~entry:"dial"
+        ~gen_req:(fun rng ->
+          req ~cpu:(100 + Rng.int rng 400) ~io:(Rng.int rng 3000) ~mem:0)
+        ~rate_rps:300.0 ~duration_us:1_500_000.0 ~warmup_us:0.0 ()
+    in
+    (Engine.events_processed engine, Engine.peak_queue_depth engine)
+  in
+  let per = Pool.map ~domains:4 run [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let events, peak = Engine.global_stats () in
+  let sum_events = List.fold_left (fun a (e, _) -> a + e) 0 per in
+  let max_peak = List.fold_left (fun a (_, p) -> max a p) 0 per in
+  Alcotest.(check bool) "engines did real work" true (sum_events > 0);
+  Alcotest.(check int) "no update lost across domains: events add up" sum_events events;
+  Alcotest.(check int) "peak depth is the max across engines" max_peak peak;
+  (* Monotone under further work: one more engine adds exactly its own. *)
+  let extra, _ = run 99 in
+  let events', peak' = Engine.global_stats () in
+  Alcotest.(check int) "strictly monotone" (events + extra) events';
+  Alcotest.(check bool) "peak never decreases" true (peak' >= peak)
+
 (* The cluster topology subsystem must be invisible until asked for: a
    [Topology.Flat] install — and even a degenerate one-node cluster tuned
    to the seed's constants — leaves a full simulation bit-identical to the
@@ -560,6 +594,8 @@ let suite =
         Alcotest.test_case "wheel = legacy heap, bit-identical" `Quick
           test_wheel_and_legacy_heap_bit_identical;
         Alcotest.test_case "parity through merge path" `Quick test_sched_parity_through_merge_path;
+        Alcotest.test_case "global stats race-free across domains" `Quick
+          test_global_stats_race_free_under_domains;
       ] );
     ( "engine.topology",
       [

@@ -20,4 +20,5 @@ let () =
        Test_control.suite;
        Test_fault.suite;
        Test_place.suite;
+       Test_obs.suite;
      ])

@@ -1,0 +1,361 @@
+(* Observability subsystem: recorder non-interference and determinism,
+   head-sampling properties, live-profiler fidelity (sampled spans drive
+   the decision to the ground-truth grouping), metrics registry semantics,
+   exporter formats, and the controller's obs mode end to end. *)
+
+module Engine = Quilt_platform.Engine
+module Loadgen = Quilt_platform.Loadgen
+module Workflow = Quilt_apps.Workflow
+module Quilt = Quilt_core.Quilt
+module Config = Quilt_core.Config
+module Recorder = Quilt_obs.Recorder
+module Profiler = Quilt_obs.Profiler
+module Metrics = Quilt_obs.Metrics
+module Export = Quilt_obs.Export
+module Controller = Quilt_control.Controller
+module Scenario = Quilt_control.Scenario
+module Json = Quilt_util.Json
+
+let check = Alcotest.check
+let checkb msg expected actual = check Alcotest.bool msg expected actual
+
+let compose () =
+  List.find
+    (fun w -> w.Workflow.wf_name = "compose-post")
+    (Quilt_apps.Deathstar.social_network ~async:false ())
+
+let drive ?recorder ?(seed = 0) ?(rate = 120.0) ?(duration_us = 3.0e6) wf =
+  let engine = Quilt.fresh_platform ~seed:(11 + seed) ~workflows:[ wf ] () in
+  (match recorder with Some r -> Recorder.attach r engine | None -> ());
+  let r =
+    Loadgen.run_open_loop engine ~entry:wf.Workflow.entry ~gen_req:wf.Workflow.gen_req
+      ~rate_rps:rate ~duration_us ~warmup_us:0.0 ~seed ()
+  in
+  (engine, r)
+
+(* Everything the load generator and engine observe — exact float
+   equality, as the engine determinism tests use. *)
+let fingerprint engine (r : Loadgen.result) =
+  ( (r.Loadgen.successes, r.Loadgen.failures, r.Loadgen.offered),
+    (Loadgen.median_ms r, Loadgen.p99_ms r, Loadgen.mean_ms r),
+    Engine.counters engine,
+    Engine.now engine )
+
+(* --- non-interference: the sink observes, never perturbs --- *)
+
+let test_sink_does_not_perturb () =
+  let wf = compose () in
+  let bare =
+    let e, r = drive wf in
+    fingerprint e r
+  in
+  let full =
+    let rec_ = Recorder.create () in
+    let e, r = drive ~recorder:rec_ wf in
+    checkb "full sampling recorded spans" true (Recorder.length rec_ > 0);
+    fingerprint e r
+  in
+  let sampled =
+    let rec_ = Recorder.create ~sample_period:7 ~seed:3 () in
+    let e, r = drive ~recorder:rec_ wf in
+    fingerprint e r
+  in
+  checkb "attached recorder leaves the run bit-identical" true (bare = full);
+  checkb "sampling leaves the run bit-identical" true (bare = sampled)
+
+let test_detach_restores_noop_path () =
+  let wf = compose () in
+  let engine = Quilt.fresh_platform ~seed:11 ~workflows:[ wf ] () in
+  let r = Recorder.create () in
+  Recorder.attach r engine;
+  Recorder.detach engine;
+  let _ =
+    Loadgen.run_open_loop engine ~entry:wf.Workflow.entry ~gen_req:wf.Workflow.gen_req
+      ~rate_rps:50.0 ~duration_us:1.0e6 ~warmup_us:0.0 ()
+  in
+  check Alcotest.int "detached recorder saw nothing" 0 (Recorder.recorded r);
+  check Alcotest.int "not even root verdicts" 0 (Recorder.seen_roots r)
+
+(* --- head sampling --- *)
+
+let test_sampling_deterministic_and_unbiased () =
+  let decisions ~period ~seed =
+    let sk = Recorder.sink (Recorder.create ~sample_period:period ~seed ()) in
+    List.init 8000 (fun rid -> sk.Engine.sk_sample rid)
+  in
+  checkb "equal seeds decide identically" true
+    (decisions ~period:8 ~seed:5 = decisions ~period:8 ~seed:5);
+  checkb "different seeds decide differently" true
+    (decisions ~period:8 ~seed:5 <> decisions ~period:8 ~seed:6);
+  checkb "period 1 keeps everything" true
+    (List.for_all (fun b -> b) (decisions ~period:1 ~seed:0));
+  let kept = List.length (List.filter (fun b -> b) (decisions ~period:8 ~seed:0)) in
+  (* 8000 Bernoulli(1/8) trials: expect ~1000; a wide band guards against a
+     broken hash (all-keep or all-drop), not distribution shape. *)
+  checkb "1/8 sampling keeps roughly 1/8" true (kept > 600 && kept < 1400)
+
+let test_sampled_chains_are_whole () =
+  let wf = compose () in
+  let r = Recorder.create ~sample_period:4 () in
+  let _ = drive ~recorder:r wf in
+  let spans = Recorder.to_list r in
+  checkb "spans recorded" true (spans <> []);
+  let rids = List.sort_uniq compare (List.map (fun s -> s.Recorder.sp_rid) spans) in
+  check Alcotest.int "distinct rids = sampled roots" (Recorder.sampled_roots r)
+    (List.length rids);
+  checkb "a sampled chain includes its client-ingress span" true
+    (List.for_all
+       (fun rid ->
+         List.exists
+           (fun s ->
+             s.Recorder.sp_rid = rid && s.Recorder.sp_caller = None
+             && s.Recorder.sp_fn = wf.Workflow.entry)
+           spans)
+       rids);
+  List.iter
+    (fun s ->
+      checkb "send <= enq <= start <= end" true
+        (s.Recorder.sp_send <= s.Recorder.sp_enq
+        && s.Recorder.sp_enq <= s.Recorder.sp_start
+        && s.Recorder.sp_start <= s.Recorder.sp_end);
+      if s.Recorder.sp_local then
+        checkb "local spans have no queue or hop time" true
+          (s.Recorder.sp_send = s.Recorder.sp_start))
+    spans
+
+let test_ring_overwrites_oldest () =
+  let wf = compose () in
+  let r = Recorder.create ~capacity:64 () in
+  let _ = drive ~recorder:r wf in
+  check Alcotest.int "length capped at capacity" 64 (Recorder.length r);
+  checkb "older spans were overwritten" true (Recorder.recorded r > 64);
+  let ends = List.map (fun s -> s.Recorder.sp_end) (Recorder.to_list r) in
+  checkb "retained spans stay in completion order" true (ends = List.sort compare ends);
+  checkb "out-of-range get raises" true
+    (try
+       ignore (Recorder.get r 64);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- determinism: equal seeds => identical spans, profiles, decision --- *)
+
+let decision_fp wf r =
+  match
+    Profiler.callgraph ~code_edges:wf.Workflow.code_edges ~entry:wf.Workflow.entry r
+  with
+  | Error e -> "error: " ^ e
+  | Ok g -> (
+      match Quilt.optimize ~graph:(Quilt.with_optin wf g) Config.default ~workflows:[ wf ] wf with
+      | Error e -> "error: " ^ e
+      | Ok t -> Controller.fingerprint t)
+
+let prop_equal_seeds_identical =
+  QCheck.Test.make ~count:4 ~name:"equal seeds => identical spans, profiles, decision"
+    QCheck.(pair (int_bound 20) (int_range 1 8))
+    (fun (seed, period) ->
+      let run () =
+        let wf = compose () in
+        let r = Recorder.create ~sample_period:period ~seed () in
+        let _, res = drive ~recorder:r ~seed ~rate:80.0 ~duration_us:2.0e6 wf in
+        (res.Loadgen.successes, Recorder.to_list r, Profiler.profiles r, decision_fp wf r)
+      in
+      run () = run ())
+
+(* --- live-profiler fidelity: the acceptance pin --- *)
+
+let agreement_case wf ~period ~seed =
+  let cfg = { Config.default with Config.seed = Config.default.Config.seed + seed } in
+  let truth =
+    match Quilt.optimize cfg ~workflows:[ wf ] wf with
+    | Ok t -> t
+    | Error e -> Alcotest.fail ("ground-truth optimize: " ^ e)
+  in
+  let r = Recorder.create ~sample_period:period ~seed () in
+  let _ = drive ~recorder:r ~seed ~rate:50.0 ~duration_us:6.0e6 wf in
+  match
+    Profiler.callgraph ~code_edges:wf.Workflow.code_edges ~entry:wf.Workflow.entry r
+  with
+  | Error e -> Alcotest.fail ("live profile: " ^ e)
+  | Ok g -> (
+      match Quilt.optimize ~graph:(Quilt.with_optin wf g) cfg ~workflows:[ wf ] wf with
+      | Error e -> Alcotest.fail ("live re-decision: " ^ e)
+      | Ok live ->
+          check Alcotest.string
+            (Printf.sprintf "%s 1/%d grouping matches ground truth" wf.Workflow.wf_name period)
+            (Controller.fingerprint truth) (Controller.fingerprint live))
+
+let test_decision_agreement_compose () =
+  agreement_case (compose ()) ~period:1 ~seed:0;
+  agreement_case (compose ()) ~period:4 ~seed:1
+
+let test_decision_agreement_routed () =
+  agreement_case (Quilt_apps.Special.routed ()) ~period:1 ~seed:0;
+  agreement_case (Quilt_apps.Special.routed ()) ~period:4 ~seed:1
+
+let test_profiler_folds () =
+  let wf = compose () in
+  let r = Recorder.create ~sample_period:2 () in
+  let _ = drive ~recorder:r wf in
+  let sampled = Recorder.sampled_roots r in
+  check Alcotest.int "invocations = sampled ingress spans" sampled
+    (Profiler.invocations ~entry:wf.Workflow.entry r);
+  let profiles = Profiler.profiles r in
+  let entry_p = List.find (fun p -> p.Profiler.fp_fn = wf.Workflow.entry) profiles in
+  check Alcotest.int "entry profile counts every sampled chain" sampled
+    entry_p.Profiler.fp_calls;
+  checkb "entry burns CPU" true (entry_p.Profiler.fp_cpu_ms > 0.0);
+  checkb "per-instance footprint is positive" true (entry_p.Profiler.fp_mem_mb > 0.0);
+  let edges = Profiler.edge_counts r in
+  check Alcotest.int "client ingress edge counts sampled roots" sampled
+    (List.assoc (None, wf.Workflow.entry) edges);
+  checkb "fan-out edges observed" true (List.length edges > 1)
+
+(* --- metrics registry --- *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~labels:[ ("arm", "a"); ("wf", "x") ] "requests" in
+  Metrics.inc c 3;
+  (* Same identity under reordered labels: one instrument accumulates. *)
+  let c' = Metrics.counter m ~labels:[ ("wf", "x"); ("arm", "a") ] "requests" in
+  Metrics.inc c' 2;
+  check Alcotest.int "label order is canonical" 5 (Metrics.counter_value c);
+  let g = Metrics.gauge m "temp" in
+  Metrics.set g 1.5;
+  Metrics.set g 2.5;
+  checkb "gauge keeps the last value" true (Metrics.gauge_value g = 2.5);
+  let h = Metrics.histogram m "lat" in
+  Metrics.observe h 100.0;
+  Metrics.observe h 200.0;
+  check Alcotest.int "histogram observed" 2 (Quilt_util.Histogram.count (Metrics.hist h));
+  checkb "re-registering under a different kind is rejected" true
+    (try
+       ignore (Metrics.gauge m ~labels:[ ("arm", "a"); ("wf", "x") ] "requests");
+       false
+     with Invalid_argument _ -> true);
+  match Metrics.snapshot m with
+  | Json.Obj kvs ->
+      let list_len k = match List.assoc k kvs with Json.List l -> List.length l | _ -> -1 in
+      check Alcotest.int "one counter series" 1 (list_len "counters");
+      check Alcotest.int "one gauge series" 1 (list_len "gauges");
+      check Alcotest.int "one histogram series" 1 (list_len "histograms")
+  | _ -> Alcotest.fail "snapshot must be an object"
+
+(* --- exporters --- *)
+
+let traced_recorder () =
+  let wf = compose () in
+  let r = Recorder.create ~sample_period:4 () in
+  let _ = drive ~recorder:r ~duration_us:1.5e6 wf in
+  (wf, r)
+
+let test_chrome_trace_shape () =
+  let _, r = traced_recorder () in
+  match Export.chrome_trace [ ("baseline", r); ("quilt", r) ] with
+  | Json.Obj kvs -> (
+      match List.assoc "traceEvents" kvs with
+      | Json.List events ->
+          let phase e =
+            match e with
+            | Json.Obj f -> ( match List.assoc "ph" f with Json.String s -> s | _ -> "?")
+            | _ -> "?"
+          in
+          let xs = List.filter (fun e -> phase e = "X") events in
+          let ms = List.filter (fun e -> phase e = "M") events in
+          check Alcotest.int "one X event per span per arm" (2 * Recorder.length r)
+            (List.length xs);
+          check Alcotest.int "one process_name record per arm" 2 (List.length ms);
+          List.iter
+            (fun e ->
+              match e with
+              | Json.Obj f ->
+                  (match List.assoc "dur" f with
+                  | Json.Float d -> checkb "non-negative duration" true (d >= 0.0)
+                  | _ -> Alcotest.fail "dur must be a float")
+              | _ -> Alcotest.fail "event must be an object")
+            xs
+      | _ -> Alcotest.fail "traceEvents must be a list")
+  | _ -> Alcotest.fail "chrome trace must be an object"
+
+let test_folded_stacks () =
+  let wf, r = traced_recorder () in
+  let stacks = Export.folded r in
+  checkb "stacks produced" true (stacks <> []);
+  List.iter
+    (fun (stack, weight) ->
+      checkb "positive weight" true (weight > 0);
+      checkb "non-empty stack" true (stack <> ""))
+    stacks;
+  checkb "the entry roots at least one stack" true
+    (List.exists
+       (fun (stack, _) ->
+         stack = wf.Workflow.entry
+         || String.starts_with ~prefix:(wf.Workflow.entry ^ ";") stack)
+       stacks);
+  let prefixed = Export.folded ~prefix:"arm" r in
+  checkb "prefix roots every stack" true
+    (List.for_all (fun (s, _) -> String.starts_with ~prefix:"arm;" s) prefixed);
+  let rendered = Export.folded_to_string stacks in
+  check Alcotest.int "one line per stack"
+    (List.length stacks)
+    (List.length (String.split_on_char '\n' (String.trim rendered)))
+
+(* --- controller obs mode, end to end --- *)
+
+let run_obs_scenario name =
+  match Scenario.run ~smoke:true ~obs_sample:2 ~with_controller:true name with
+  | Ok o -> o
+  | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" name e)
+
+let summary_of (o : Scenario.outcome) =
+  match o.Scenario.o_summary with
+  | Some s -> s
+  | None -> Alcotest.fail "controller run must produce a summary"
+
+let test_obs_mode_path_shift_adapts () =
+  let o = run_obs_scenario "path-shift" in
+  let s = summary_of o in
+  checkb "remerged from sampled spans alone" true (s.Controller.s_remerges >= 1);
+  check Alcotest.int "no rollbacks" 0 (s.Controller.s_rollbacks + s.Controller.s_watchdogs);
+  checkb "hot b-chain co-located with the entry" true
+    (List.mem [ "route-b1"; "route-b2"; "route-split" ] o.Scenario.o_final_groups)
+
+let test_obs_mode_steady_keeps () =
+  let o = run_obs_scenario "steady" in
+  let s = summary_of o in
+  check Alcotest.int "no remerges" 0 s.Controller.s_remerges;
+  checkb "groups unchanged" true (o.Scenario.o_initial_groups = o.Scenario.o_final_groups)
+
+let suite =
+  [
+    ( "obs.recorder",
+      [
+        Alcotest.test_case "sink never perturbs the run" `Quick test_sink_does_not_perturb;
+        Alcotest.test_case "detach restores the no-op path" `Quick test_detach_restores_noop_path;
+        Alcotest.test_case "sampling deterministic + unbiased" `Quick
+          test_sampling_deterministic_and_unbiased;
+        Alcotest.test_case "sampled chains are whole" `Quick test_sampled_chains_are_whole;
+        Alcotest.test_case "ring overwrites oldest" `Quick test_ring_overwrites_oldest;
+        QCheck_alcotest.to_alcotest prop_equal_seeds_identical;
+      ] );
+    ( "obs.profiler",
+      [
+        Alcotest.test_case "decision agreement: compose-post" `Quick
+          test_decision_agreement_compose;
+        Alcotest.test_case "decision agreement: routed" `Quick test_decision_agreement_routed;
+        Alcotest.test_case "profile folds" `Quick test_profiler_folds;
+      ] );
+    ( "obs.metrics",
+      [ Alcotest.test_case "registry semantics + snapshot" `Quick test_metrics_registry ] );
+    ( "obs.export",
+      [
+        Alcotest.test_case "chrome trace shape" `Quick test_chrome_trace_shape;
+        Alcotest.test_case "folded stacks" `Quick test_folded_stacks;
+      ] );
+    ( "obs.controller",
+      [
+        Alcotest.test_case "path-shift adapts from sampled spans" `Quick
+          test_obs_mode_path_shift_adapts;
+        Alcotest.test_case "steady keeps hands still" `Quick test_obs_mode_steady_keeps;
+      ] );
+  ]

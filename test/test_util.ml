@@ -223,6 +223,61 @@ let test_histogram_empty () =
   Alcotest.(check (float 0.0)) "median of empty" 0.0 (Histogram.median h);
   Alcotest.(check (float 0.0)) "mean of empty" 0.0 (Histogram.mean h)
 
+(* Quantiles are clamped into [min, max]: a single observation must come
+   back exactly (not its bucket's midpoint), and p0/p100 must pin to the
+   recorded extremes at any population. *)
+let test_histogram_quantile_edges () =
+  let h = Histogram.create () in
+  Histogram.record h 100.0;
+  Alcotest.(check (float 0.0)) "single obs: p0 exact" 100.0 (Histogram.quantile h 0.0);
+  Alcotest.(check (float 0.0)) "single obs: median exact" 100.0 (Histogram.median h);
+  Alcotest.(check (float 0.0)) "single obs: p100 exact" 100.0 (Histogram.quantile h 1.0);
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 10.0; 55.0; 300.0; 4000.0 ];
+  Alcotest.(check (float 0.0)) "p0 = min" 10.0 (Histogram.quantile h 0.0);
+  Alcotest.(check (float 0.0)) "p100 = max" 4000.0 (Histogram.quantile h 1.0);
+  Alcotest.(check bool) "interior quantiles stay within range" true
+    (List.for_all
+       (fun q ->
+         let v = Histogram.quantile h q in
+         v >= 10.0 && v <= 4000.0)
+       [ 0.25; 0.5; 0.75; 0.9; 0.99 ])
+
+let test_histogram_merge_counts_and_quantiles () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.record a) [ 10.0; 20.0; 30.0 ];
+  Histogram.record_n b 1000.0 5;
+  Histogram.merge_into ~dst:a b;
+  Alcotest.(check int) "counts add" 8 (Histogram.count a);
+  Alcotest.(check (float 0.0)) "min survives the merge" 10.0 (Histogram.min_value a);
+  Alcotest.(check (float 0.0)) "p100 is the merged max" 1000.0 (Histogram.quantile a 1.0);
+  Alcotest.(check (float 0.001)) "mean over the union" 632.5 (Histogram.mean a);
+  (* 5 of 8 observations sit at 1000, so the median is in that bucket. *)
+  Alcotest.(check bool) "median from the dominant source" true
+    (Float.abs (Histogram.median a -. 1000.0) /. 1000.0 < 0.02);
+  Alcotest.(check int) "source unchanged" 5 (Histogram.count b)
+
+let test_histogram_bucket_iteration () =
+  let h = Histogram.create () in
+  let values = [ 3.0; 3.4; 70.0; 900.0; 900.0; 123456.0 ] in
+  List.iter (Histogram.record h) values;
+  let total = ref 0 and nonempty = ref 0 in
+  Histogram.iter_buckets h (fun ~lo ~hi ~count ->
+      incr nonempty;
+      total := !total + count;
+      Alcotest.(check bool) "bucket range well-formed" true (lo < hi && lo >= 0.0);
+      Alcotest.(check bool) "some recorded value falls in [lo, hi)" true
+        (List.exists (fun v -> v >= lo && v < hi) values));
+  Alcotest.(check int) "bucket counts sum to the population" (Histogram.count h) !total;
+  Alcotest.(check int) "iteration visits each non-empty bucket once"
+    (Histogram.num_nonempty_buckets h)
+    !nonempty;
+  (* 3.0 and 3.4 share a unit bucket; the other values are distinct. *)
+  Alcotest.(check int) "nearby values coalesce" 4 !nonempty;
+  Histogram.reset h;
+  Histogram.iter_buckets h (fun ~lo:_ ~hi:_ ~count:_ ->
+      Alcotest.fail "reset histogram has no buckets to visit")
+
 let test_histogram_relative_error () =
   let h = Histogram.create () in
   let v = 123456.0 in
@@ -292,6 +347,11 @@ let suite =
         Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
         Alcotest.test_case "mean and count" `Quick test_histogram_mean_count;
         Alcotest.test_case "merge" `Quick test_histogram_merge;
+        Alcotest.test_case "quantile edges (p0/p100, single obs)" `Quick
+          test_histogram_quantile_edges;
+        Alcotest.test_case "merge counts and quantiles" `Quick
+          test_histogram_merge_counts_and_quantiles;
+        Alcotest.test_case "bucket iteration" `Quick test_histogram_bucket_iteration;
         Alcotest.test_case "empty" `Quick test_histogram_empty;
         Alcotest.test_case "relative error" `Quick test_histogram_relative_error;
         QCheck_alcotest.to_alcotest prop_histogram_median_error;
