@@ -1,0 +1,363 @@
+(* The decision-time benchmark: everything about *how fast* Quilt decides,
+   in one subcommand (`bench/main.exe decision`, `--smoke` for CI sizing).
+
+   Sections, each writing its own key into BENCH_decision.json:
+   - the Figure-8b decision-time sweep vs graph size (promoted here from
+     the fig8 section; `fig8b` now delegates to this module);
+   - shared-incumbent parallel exact search vs the sequential reference on
+     the n=200/seed-1200 instance, at 1/2/4/8 domains, with bit-identity
+     asserted row by row;
+   - portfolio `Decision.auto` parity (parallel == sequential output);
+   - warm-start incremental re-decision vs a from-scratch solve after a
+     single-group drift;
+   - bechamel micro rows for the decision algorithms (promoted from the
+     micro section).
+
+   All parallel rows must return solutions bit-identical to their
+   sequential counterparts — the bench aborts if they do not, so a parity
+   regression cannot silently ship plausible-looking speedups. *)
+
+open Common
+module Gen = Quilt_dag.Gen
+module Callgraph = Quilt_dag.Callgraph
+module Drift = Quilt_dag.Drift
+module Types = Quilt_cluster.Types
+module Decision = Quilt_cluster.Decision
+module Closure = Quilt_cluster.Closure
+module Dih = Quilt_cluster.Dih
+module Optimal = Quilt_cluster.Optimal
+module Rng = Quilt_util.Rng
+
+let smoke_flag = ref false
+
+(* `bench/main.exe --domains N` narrows the domain sweep to {1, N}. *)
+let domains_override : int option ref = ref None
+
+let reps () = if fast || !smoke_flag then 1 else 3
+
+let graph_of n =
+  let rng = Rng.create (1000 + n) in
+  let g, lims = Gen.random_rdag rng ~n ~heavy_fraction:0.15 () in
+  (g, { Types.max_cpu = lims.Gen.max_cpu; max_mem_mb = lims.Gen.max_mem_mb })
+
+let solution_sig (s : Types.solution) =
+  ( s.Types.cost,
+    s.Types.roots,
+    List.map
+      (fun (sg : Types.subgraph) ->
+        (sg.Types.root, List.sort compare sg.Types.absorbed, Array.to_list sg.Types.members))
+      s.Types.subgraphs )
+
+let assert_identical ~what a b =
+  match (a, b) with
+  | Some a, Some b when solution_sig a = solution_sig b -> ()
+  | None, None -> ()
+  | _ -> failwith (Printf.sprintf "decision bench: %s diverged from the sequential result" what)
+
+(* --- Figure 8b sweep (promoted from bench/fig8.ml) --- *)
+
+let decision_time algorithm g lim =
+  median_time ~reps:(if fast then 1 else 3) (fun () -> ignore (Decision.solve algorithm g lim))
+
+let sweep () =
+  subsection "Figure 8b: time to find the grouping vs graph size";
+  Printf.printf "  %-8s %14s %18s %18s\n" "|V|" "optimal" "weighted-degree" "downstream-impact";
+  let sizes = if fast then [ 6; 10; 25; 100 ] else [ 4; 6; 8; 10; 12; 25; 50; 100; 200; 400; 800 ] in
+  (* Every size is an independent (seeded) instance, so the sweep fans out
+     across domains; rows come back in input order and are printed after the
+     join.  Solver outputs stay bit-identical to a sequential run — only the
+     wall-clock medians carry scheduling noise. *)
+  let rows =
+    Pool.map
+      (fun n ->
+        let g, lim = graph_of n in
+        let opt = if n <= 12 then Some (decision_time Decision.Optimal g lim) else None in
+        let wd = if n <= 200 then Some (decision_time Decision.Weighted_degree g lim) else None in
+        (* The Downstream Impact algorithm switches to its GRASP large-graph
+           mode (Appendix C.4) beyond the pool-sweep scale. *)
+        let dih_name = if n <= 50 then "dih" else "grasp" in
+        let dih_alg = if n <= 50 then Decision.Dih else Decision.Grasp in
+        (n, opt, wd, (dih_name, decision_time dih_alg g lim)))
+      sizes
+  in
+  List.iter
+    (fun (n, opt, wd, (_, dih_time)) ->
+      let opt_time =
+        match opt with Some t -> Printf.sprintf "%10.4fs" t | None -> "         - "
+      in
+      let wd_time =
+        match wd with Some t -> Printf.sprintf "%14.4fs" t | None -> "             - "
+      in
+      Printf.printf "  %-8d %s %s %14.4fs\n" n opt_time wd_time dih_time)
+    rows;
+  record_timings ~key:"fig8b"
+    (List.map
+       (fun (n, opt, wd, (dih_name, dih_time)) ->
+         let field name = function Some t -> [ (name, Json.Float t) ] | None -> [] in
+         ( string_of_int n,
+           Json.Obj (field "optimal" opt @ field "weighted_degree" wd @ [ (dih_name, Json.Float dih_time) ]) ))
+       rows);
+  paper_note
+    [
+      "optimal is practical below ~20 functions and explodes beyond;";
+      "Downstream Impact takes <0.27s (median) up to 200 nodes and ~3.1s at 800 nodes.";
+    ]
+
+(* --- shared-incumbent parallel exact search --- *)
+
+(* An in-cap exact instance on the full n=200 graph: the graph root plus
+   the highest-weighted-in-degree candidates (grown one at a time under the
+   root-edge cap), with the container limits scaled up to the smallest
+   multiple that makes the set feasible.  At 200 vertices no <= 14-root set fits the original
+   limits (the graph root's minimal closure alone is most of the graph), so
+   the bench instance keeps the graph and the root choice structure and
+   relaxes only the container size — right at the feasibility edge, which
+   is where the branch-and-bound has real pruning work to do.  [k] picks
+   the search-space size (and hence the sequential runtime this section
+   races against). *)
+let exact_instance g lim ~k =
+  let n = Callgraph.n_nodes g in
+  let redges roots =
+    let is_root = Array.make n false in
+    List.iter (fun r -> is_root.(r) <- true) roots;
+    List.fold_left
+      (fun acc (e : Callgraph.edge) -> if is_root.(e.Callgraph.dst) then acc + 1 else acc)
+      0 g.Callgraph.edges
+  in
+  let ranked =
+    List.filter (fun v -> v <> g.Callgraph.root)
+      (List.sort
+         (fun a b -> compare (Callgraph.weighted_in_degree g b) (Callgraph.weighted_in_degree g a))
+         (List.init n (fun i -> i)))
+  in
+  (* Greedily grow the root set under the root-edge cap so the result is an
+     in-cap exact instance. *)
+  let roots =
+    g.Callgraph.root
+    :: List.rev
+         (List.fold_left
+            (fun acc c ->
+              if List.length acc >= k - 1 then acc
+              else if redges (g.Callgraph.root :: c :: acc) <= Closure.exact_max_root_edges then
+                c :: acc
+              else acc)
+            [] ranked)
+  in
+  let scaled f = { Types.max_cpu = lim.Types.max_cpu *. f; max_mem_mb = lim.Types.max_mem_mb *. f } in
+  let rec feasible_scale f =
+    if f > 4096.0 then failwith "decision bench: no feasible scale for the exact instance"
+    else if Closure.root_set_feasible g (scaled f) ~roots then f
+    else feasible_scale (f *. 1.25)
+  in
+  (roots, scaled (feasible_scale 1.0))
+
+let domain_rows () =
+  let base = if !smoke_flag then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  match !domains_override with
+  | None -> base
+  | Some d -> List.sort_uniq compare [ 1; d ]
+
+let run_exact () =
+  subsection "parallel exact search: shared-incumbent B&B vs sequential";
+  let g, lim0 = graph_of 200 in
+  let k = if !smoke_flag then 10 else 14 in
+  let roots, lim = exact_instance g lim0 ~k in
+  Printf.printf "  n=200 rDAG (seed 1200), %d roots, limits %.0f vCPU·ms / %.0f MB\n"
+    (List.length roots) lim.Types.max_cpu lim.Types.max_mem_mb;
+  let seq_ref = ref None in
+  let t_seq =
+    median_time ~reps:(reps ()) (fun () -> seq_ref := Closure.solve_exact g lim ~roots)
+  in
+  let seq = !seq_ref in
+  (match seq with
+  | Some s -> Printf.printf "  %-12s %10.4fs   cost %d\n" "sequential" t_seq s.Types.cost
+  | None -> Printf.printf "  %-12s %10.4fs   (infeasible)\n" "sequential" t_seq);
+  let rows =
+    List.map
+      (fun d ->
+        let r = ref None in
+        let t =
+          median_time ~reps:(reps ()) (fun () ->
+              r := Closure.solve_exact_par ~domains:d g lim ~roots)
+        in
+        assert_identical ~what:(Printf.sprintf "solve_exact_par (%d domains)" d) !r seq;
+        Printf.printf "  %-12s %10.4fs   speedup %5.2fx   identical\n"
+          (Printf.sprintf "%d domain%s" d (if d = 1 then "" else "s"))
+          t (t_seq /. t);
+        (d, t))
+      (domain_rows ())
+  in
+  record_timings ~key:"exact_parallel"
+    ([
+       ("note",
+        Json.str
+          "shared-incumbent branch-and-bound (greedy-warmed) vs sequential solve_exact on the \
+           n=200/seed-1200 rDAG; identical=true means the parallel solution was bit-identical");
+       ("smoke", Json.Bool !smoke_flag);
+       ("roots", Json.int (List.length roots));
+       ("sequential_s", Json.Float t_seq);
+       ("identical", Json.Bool true);
+     ]
+    @ List.map
+        (fun (d, t) ->
+          ( Printf.sprintf "domains_%d" d,
+            Json.Obj [ ("s", Json.Float t); ("speedup", Json.Float (t_seq /. t)) ] ))
+        rows)
+
+(* --- portfolio parity --- *)
+
+let run_portfolio () =
+  subsection "portfolio auto: racing arms, sequential output";
+  let rows =
+    List.map
+      (fun n ->
+        let g, lim = graph_of n in
+        let seq_r = ref None and par_r = ref None in
+        let t_seq =
+          median_time ~reps:(reps ()) (fun () -> seq_r := Decision.auto ~domains:1 g lim)
+        in
+        let d = match !domains_override with Some d -> max 2 d | None -> 4 in
+        let t_par =
+          median_time ~reps:(reps ()) (fun () -> par_r := Decision.auto ~domains:d g lim)
+        in
+        assert_identical ~what:(Printf.sprintf "portfolio auto (n=%d)" n) !par_r !seq_r;
+        Printf.printf "  n=%-4d seq %8.4fs   portfolio(%d domains) %8.4fs   identical\n" n t_seq d
+          t_par;
+        (n, t_seq, t_par))
+      [ 10; 12 ]
+  in
+  record_timings ~key:"portfolio_auto"
+    ([
+       ("note",
+        Json.str
+          "Decision.auto with racing DIH/GRASP arms warming the exact sweep vs sequential auto; \
+           outputs asserted bit-identical");
+       ("smoke", Json.Bool !smoke_flag);
+       ("identical", Json.Bool true);
+     ]
+    @ List.map
+        (fun (n, ts, tp) ->
+          ( Printf.sprintf "n%d" n,
+            Json.Obj [ ("sequential_s", Json.Float ts); ("portfolio_s", Json.Float tp) ] ))
+        rows)
+
+(* --- warm-start incremental re-decision --- *)
+
+let run_redecision () =
+  subsection "incremental re-decision: warm-start splice vs from-scratch";
+  let g, lim = graph_of 200 in
+  let prev =
+    match Decision.auto ~domains:1 g lim with
+    | Some s -> s
+    | None -> failwith "decision bench: n=200 instance unexpectedly infeasible"
+  in
+  (* Drift one member of one multi-member group: scale its CPU demand past
+     the detector threshold.  Topology is untouched, so the incremental
+     path applies and everything outside that group splices through. *)
+  let victim =
+    let multi =
+      List.find
+        (fun (sg : Types.subgraph) ->
+          Array.fold_left (fun a b -> if b then a + 1 else a) 0 sg.Types.members >= 2)
+        prev.Types.subgraphs
+    in
+    let v = ref multi.Types.root in
+    Array.iteri (fun i b -> if b && i <> multi.Types.root then v := i) multi.Types.members;
+    !v
+  in
+  let g' =
+    let nodes =
+      Array.map
+        (fun (nd : Callgraph.node) ->
+          if nd.Callgraph.id = victim then { nd with Callgraph.cpu = nd.Callgraph.cpu *. 1.6 }
+          else nd)
+        g.Callgraph.nodes
+    in
+    Callgraph.make ~nodes ~edges:g.Callgraph.edges ~root:g.Callgraph.root
+      ~invocations:g.Callgraph.invocations
+  in
+  let report = Drift.detect ~threshold:0.3 g g' in
+  if Drift.topology_changed report then failwith "decision bench: drift report shows topology change";
+  Printf.printf "  drifted: %s\n" (String.concat ", " (Drift.touched_functions report));
+  let inc_ref = ref None in
+  let t_inc =
+    median_time ~reps:(max 3 (reps ())) (fun () ->
+        inc_ref :=
+          Decision.resolve_incremental ~prev_graph:g ~prev ~report g' lim)
+  in
+  (match !inc_ref with
+  | Some _ -> ()
+  | None -> failwith "decision bench: incremental re-decision unexpectedly declined");
+  let t_full =
+    median_time ~reps:(reps ()) (fun () -> ignore (Decision.auto ~domains:1 g' lim))
+  in
+  Printf.printf "  from-scratch %8.4fs   incremental %8.4fs   speedup %6.1fx\n" t_full t_inc
+    (t_full /. t_inc);
+  record_timings ~key:"redecision"
+    [
+      ("note",
+       Json.str
+         "re-decision after a single-group resource drift on the n=200/seed-1200 rDAG: \
+          Decision.resolve_incremental (touched group only) vs from-scratch Decision.auto");
+      ("smoke", Json.Bool !smoke_flag);
+      ("drifted_group_members", Json.int 1);
+      ("from_scratch_s", Json.Float t_full);
+      ("incremental_s", Json.Float t_inc);
+      ("speedup", Json.Float (t_full /. t_inc));
+    ]
+
+(* --- bechamel micro rows (promoted from bench/micro.ml) --- *)
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  subsection "micro (bechamel): decision algorithms";
+  let g10, lim10 = graph_of 10 in
+  let g50, lim50 = graph_of 50 in
+  let tests =
+    [
+      Test.make ~name:"decision: optimal, 10 vertices"
+        (Staged.stage (fun () -> Optimal.solve g10 lim10));
+      Test.make ~name:"decision: DIH, 10 vertices" (Staged.stage (fun () -> Dih.solve g10 lim10));
+      Test.make ~name:"decision: DIH, 50 vertices" (Staged.stage (fun () -> Dih.solve g50 lim50));
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second (if fast || !smoke_flag then 0.25 else 1.0)) ()
+  in
+  let recorded = ref [] in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" ~fmt:"%s %s" [ test ])
+      in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+              Printf.printf "  %-42s %12.2f us/run\n%!" name (est /. 1000.0);
+              recorded := (name, est /. 1000.0) :: !recorded
+          | Some _ | None -> Printf.printf "  %-42s (no estimate)\n%!" name)
+        results)
+    tests;
+  record_timings ~key:"micro_decision_us_per_run"
+    (List.rev_map (fun (name, us) -> (name, Json.Float us)) !recorded)
+
+let run () =
+  section "Decision time: sweep, parallel exact, portfolio, incremental";
+  sweep ();
+  run_exact ();
+  run_portfolio ();
+  run_redecision ();
+  run_micro ();
+  paper_note
+    [
+      "not in the paper: the parallel decision subsystem is this reproduction's own;";
+      "every parallel row is asserted bit-identical to the sequential solver output.";
+    ]

@@ -61,54 +61,10 @@ let run_8a () =
 
 (* --- 8b --- *)
 
-let decision_time algorithm g lim =
-  median_time ~reps:(if fast then 1 else 3) (fun () -> ignore (Decision.solve algorithm g lim))
-
-let run_8b () =
-  subsection "Figure 8b: time to find the grouping vs graph size";
-  Printf.printf "  %-8s %14s %18s %18s\n" "|V|" "optimal" "weighted-degree" "downstream-impact";
-  let sizes = if fast then [ 6; 10; 25; 100 ] else [ 4; 6; 8; 10; 12; 25; 50; 100; 200; 400; 800 ] in
-  (* Every size is an independent (seeded) instance, so the sweep fans out
-     across domains; rows come back in input order and are printed after the
-     join.  Solver outputs stay bit-identical to a sequential run — only the
-     wall-clock medians carry scheduling noise. *)
-  let rows =
-    Pool.map
-      (fun n ->
-        let rng = Rng.create (1000 + n) in
-        let g, lims = Gen.random_rdag rng ~n ~heavy_fraction:0.15 () in
-        let lim = { Types.max_cpu = lims.Gen.max_cpu; max_mem_mb = lims.Gen.max_mem_mb } in
-        let opt = if n <= 12 then Some (decision_time Decision.Optimal g lim) else None in
-        let wd = if n <= 200 then Some (decision_time Decision.Weighted_degree g lim) else None in
-        (* The Downstream Impact algorithm switches to its GRASP large-graph
-           mode (Appendix C.4) beyond the pool-sweep scale. *)
-        let dih_name = if n <= 50 then "dih" else "grasp" in
-        let dih_alg = if n <= 50 then Decision.Dih else Decision.Grasp in
-        (n, opt, wd, (dih_name, decision_time dih_alg g lim)))
-      sizes
-  in
-  List.iter
-    (fun (n, opt, wd, (_, dih_time)) ->
-      let opt_time =
-        match opt with Some t -> Printf.sprintf "%10.4fs" t | None -> "         - "
-      in
-      let wd_time =
-        match wd with Some t -> Printf.sprintf "%14.4fs" t | None -> "             - "
-      in
-      Printf.printf "  %-8d %s %s %14.4fs\n" n opt_time wd_time dih_time)
-    rows;
-  record_timings ~key:"fig8b"
-    (List.map
-       (fun (n, opt, wd, (dih_name, dih_time)) ->
-         let field name = function Some t -> [ (name, Json.Float t) ] | None -> [] in
-         ( string_of_int n,
-           Json.Obj (field "optimal" opt @ field "weighted_degree" wd @ [ (dih_name, Json.Float dih_time) ]) ))
-       rows);
-  paper_note
-    [
-      "optimal is practical below ~20 functions and explodes beyond;";
-      "Downstream Impact takes <0.27s (median) up to 200 nodes and ~3.1s at 800 nodes.";
-    ]
+(* The decision-time sweep lives in the decision bench now (alongside the
+   parallel-decision rows); this keeps `fig8`/`fig8b` producing the same
+   table and JSON key as before. *)
+let run_8b () = Decision_bench.sweep ()
 
 (* --- 8c --- *)
 

@@ -1,15 +1,13 @@
-(* Bechamel micro-benchmarks of the hot algorithmic paths: the decision
-   algorithms, the merge pipeline, call-tree construction, and the LP
-   solver.  These give statistically robust per-operation timings (the
-   run-to-run figures behind Figures 8b/8c), complementing the wall-clock
-   sweeps in the other sections. *)
+(* Bechamel micro-benchmarks of the hot algorithmic paths: the merge
+   pipeline, call-tree construction, and the LP solver.  These give
+   statistically robust per-operation timings (the run-to-run figures
+   behind Figure 8c), complementing the wall-clock sweeps in the other
+   sections.  The decision-algorithm micros moved to the decision bench
+   (`bench/main.exe decision`), next to the parallel-decision rows they
+   calibrate. *)
 
 open Bechamel
 open Toolkit
-module Gen = Quilt_dag.Gen
-module Types = Quilt_cluster.Types
-module Dih = Quilt_cluster.Dih
-module Optimal = Quilt_cluster.Optimal
 module Pipeline = Quilt_merge.Pipeline
 module Calltree = Quilt_platform.Calltree
 module Deathstar = Quilt_apps.Deathstar
@@ -17,11 +15,6 @@ module Workflow = Quilt_apps.Workflow
 module Lp = Quilt_ilp.Lp
 module Simplex = Quilt_ilp.Simplex
 module Rng = Quilt_util.Rng
-
-let graph_of n =
-  let rng = Rng.create (31 * n) in
-  let g, lims = Gen.random_rdag rng ~n ~heavy_fraction:0.15 () in
-  (g, { Types.max_cpu = lims.Gen.max_cpu; max_mem_mb = lims.Gen.max_mem_mb })
 
 let compose_post () =
   List.find (fun w -> w.Workflow.wf_name = "compose-post") (Deathstar.social_network ~async:false ())
@@ -37,15 +30,10 @@ let lp_instance () =
     ~lower:(Array.make n 0.0) ~upper:(Array.make n 1.0)
 
 let tests =
-  let g10, lim10 = graph_of 10 in
-  let g50, lim50 = graph_of 50 in
   let compose = compose_post () in
   let reg = Workflow.registry [ compose ] in
   let lp = lp_instance () in
   [
-    Test.make ~name:"decision: optimal, 10 vertices" (Staged.stage (fun () -> Optimal.solve g10 lim10));
-    Test.make ~name:"decision: DIH, 10 vertices" (Staged.stage (fun () -> Dih.solve g10 lim10));
-    Test.make ~name:"decision: DIH, 50 vertices" (Staged.stage (fun () -> Dih.solve g50 lim50));
     Test.make ~name:"merge pipeline: compose-post (11 fn)"
       (Staged.stage (fun () ->
            Pipeline.merge_group

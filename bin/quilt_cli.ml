@@ -151,10 +151,13 @@ let with_engine_stats enabled f =
         (100.0 *. float_of_int hits /. float_of_int lookups)
   end
 
-let adapt_cmd (seed, smoke, engine_stats) no_controller scenario =
+let adapt_cmd (seed, smoke, engine_stats) no_controller incremental scenario =
   with_engine_stats engine_stats @@ fun () ->
   let run wc =
-    match Quilt_control.Scenario.run ~smoke ~seed ~with_controller:wc scenario with
+    match
+      Quilt_control.Scenario.run ~smoke ~seed ~incremental_redecide:incremental
+        ~with_controller:wc scenario
+    with
     | Ok o -> o
     | Error e ->
         Printf.eprintf "adapt failed: %s\n" e;
@@ -398,9 +401,9 @@ let merge_t =
     Term.(const merge_cmd $ async_flag $ dump $ req $ workflow_arg)
 
 (* Shared flag wiring: every load-driving subcommand takes the same
-   --seed/--smoke/--engine-stats trio (bundled into one term so a command
-   adds all three with a single [$ run_flags]) and the same --rate and
-   --duration shapes. *)
+   --seed/--smoke/--engine-stats/--domains set (bundled into one term so a
+   command adds all of them with a single [$ run_flags]) and the same
+   --rate and --duration shapes. *)
 
 let seed_flag =
   Arg.(
@@ -421,10 +424,27 @@ let engine_stats_flag =
           "Print simulator throughput (events/sec, peak event-queue depth) and the merge \
            cache's hit rate after the run.")
 
+let domains_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Domain-pool width for the parallel decision paths (default: \
+           QUILT_POOL_DOMAINS, else the machine's recommended domain count). \
+           $(docv)=1 forces the sequential solvers, like QUILT_SEQUENTIAL=1.")
+
 let run_flags =
   Term.(
-    const (fun seed smoke engine_stats -> (seed, smoke, engine_stats))
-    $ seed_flag $ smoke_flag $ engine_stats_flag)
+    const (fun seed smoke engine_stats domains ->
+        (match domains with
+        | Some d when d >= 1 -> Unix.putenv "QUILT_POOL_DOMAINS" (string_of_int d)
+        | Some d ->
+            Printf.eprintf "--domains expects an integer >= 1, got %d\n" d;
+            Stdlib.exit 1
+        | None -> ());
+        (seed, smoke, engine_stats))
+    $ seed_flag $ smoke_flag $ engine_stats_flag $ domains_flag)
 
 let rate_flag default =
   Arg.(value & opt float default & info [ "rate" ] ~docv:"RPS" ~doc:"Offered load.")
@@ -445,6 +465,14 @@ let adapt_t =
   let no_controller =
     Arg.(value & flag & info [ "no-controller" ] ~doc:"Run the phased workload without the controller.")
   in
+  let incremental =
+    Arg.(
+      value & flag
+      & info [ "incremental" ]
+          ~doc:
+            "Opt the controller into warm-start incremental re-decision on drift ticks \
+             (escalates to the full optimizer when the incremental path declines).")
+  in
   let scenario =
     Arg.(
       value
@@ -455,7 +483,7 @@ let adapt_t =
   in
   Cmd.v
     (Cmd.info "adapt" ~doc:"Run an adaptive scenario under the online control plane")
-    Term.(const adapt_cmd $ run_flags $ no_controller $ scenario)
+    Term.(const adapt_cmd $ run_flags $ no_controller $ incremental $ scenario)
 
 let chaos_t =
   let policy =

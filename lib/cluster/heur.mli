@@ -14,6 +14,7 @@ val solve_weighted_degree :
   ?pool_size:int ->
   ?k_max:int ->
   ?patience:int ->
+  ?domains:int ->
   ?fallback:bool ->
   Quilt_dag.Callgraph.t ->
   Types.limits ->
@@ -26,6 +27,7 @@ val solve_weighted_degree :
 val solve_betweenness :
   ?pool_size:int ->
   ?k_max:int ->
+  ?domains:int ->
   ?fallback:bool ->
   Quilt_dag.Callgraph.t ->
   Types.limits ->

@@ -12,6 +12,7 @@ val combinations : 'a list -> int -> 'a list list
 val solve_over_pool :
   ?k_max:int ->
   ?patience:int ->
+  ?domains:int ->
   Quilt_dag.Callgraph.t ->
   Types.limits ->
   pool:int list ->
@@ -19,4 +20,10 @@ val solve_over_pool :
 (** Sweeps k = 1, 2, ... taking the k−1 extra roots from subsets of [pool];
     Phase 2 is {!Closure.solve}.  Stops after [patience] (default 2)
     consecutive values of k without improvement, or at [k_max] (default
-    [List.length pool + 1]).  Returns the best solution found. *)
+    [List.length pool + 1]).  Returns the best solution found.
+
+    [domains] (default 1) fans each k's subsets out over the Domain pool
+    with a shared incumbent bound; results are folded back in enumeration
+    order, so the returned solution — and the patience-based stopping point
+    — are bit-identical to the sequential sweep.  [QUILT_SEQUENTIAL=1]
+    forces the sequential path. *)

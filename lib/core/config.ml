@@ -12,6 +12,7 @@ type t = {
   profile_connections : int;
   seed : int;
   reliability_lambda : float;
+  domains : int;
 }
 
 let default =
@@ -27,6 +28,7 @@ let default =
     profile_connections = 4;
     seed = 1;
     reliability_lambda = 0.0;
+    domains = Quilt_util.Pool.default_domains ();
   }
 
 let limits cfg =

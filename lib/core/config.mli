@@ -30,6 +30,12 @@ type t = {
           candidate groupings — including the unmerged baseline — by
           [cost + λ × expected replay work], trading some cut-cost savings
           for smaller fault domains. *)
+  domains : int;
+      (** Domains the merge decision may fan out over (default
+          {!Quilt_util.Pool.default_domains}, i.e. the machine; overridable
+          per-process with [QUILT_POOL_DOMAINS]).  Parallel decision paths
+          are output-identical to sequential ones, so this only changes
+          decision latency; [QUILT_SEQUENTIAL=1] forces 1 everywhere. *)
 }
 
 val default : t

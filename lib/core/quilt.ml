@@ -78,16 +78,17 @@ let singleton_solution (g : Callgraph.t) =
    cost-only answer. *)
 let solve_with_penalty (cfg : Config.t) callgraph limits =
   let lambda = cfg.Config.reliability_lambda in
+  let domains = cfg.Config.domains in
   let primary =
     match cfg.Config.algorithm with
-    | Some algorithm -> Decision.solve ~seed:cfg.Config.seed algorithm callgraph limits
-    | None -> Decision.auto ~seed:cfg.Config.seed callgraph limits
+    | Some algorithm -> Decision.solve ~seed:cfg.Config.seed ~domains algorithm callgraph limits
+    | None -> Decision.auto ~seed:cfg.Config.seed ~domains callgraph limits
   in
   if lambda <= 0.0 then primary
   else begin
     let extra =
       List.filter_map
-        (fun alg -> Decision.solve ~seed:cfg.Config.seed alg callgraph limits)
+        (fun alg -> Decision.solve ~seed:cfg.Config.seed ~domains alg callgraph limits)
         [ Decision.Weighted_degree; Decision.Dih ]
     in
     let baseline =
@@ -107,6 +108,19 @@ let solve_with_penalty (cfg : Config.t) callgraph limits =
              first rest)
   end
 
+(* Turn a validated solution into a deployable plan: one merged spec per
+   multi-member subgraph (singletons stay on their baseline containers). *)
+let plan_of_solution (cfg : Config.t) (wf : Workflow.t) ~callgraph (solution : Types.solution) =
+  let deployments =
+    List.filter_map
+      (fun (sg : Types.subgraph) ->
+        let n_members = Array.fold_left (fun a b -> if b then a + 1 else a) 0 sg.Types.members in
+        if n_members < 2 then None
+        else Some (Deploy.merged_spec cfg wf ~graph:callgraph ~subgraph:sg))
+      solution.Types.subgraphs
+  in
+  { workflow = wf; callgraph; solution; deployments }
+
 let optimize ?graph (cfg : Config.t) ~workflows (wf : Workflow.t) =
   let graph_result =
     match graph with Some g -> Ok g | None -> profile cfg ~workflows wf
@@ -115,19 +129,37 @@ let optimize ?graph (cfg : Config.t) ~workflows (wf : Workflow.t) =
   | Error e -> Error (Printf.sprintf "profiling failed: %s" e)
   | Ok callgraph -> (
       let limits = Config.limits cfg in
-      let solution = solve_with_penalty cfg callgraph limits in
-      match solution with
+      match solve_with_penalty cfg callgraph limits with
       | None -> Error "no feasible grouping under the resource constraints"
-      | Some solution ->
-          let deployments =
-            List.filter_map
-              (fun (sg : Types.subgraph) ->
-                let n_members = Array.fold_left (fun a b -> if b then a + 1 else a) 0 sg.Types.members in
-                if n_members < 2 then None
-                else Some (Deploy.merged_spec cfg wf ~graph:callgraph ~subgraph:sg))
-              solution.Types.subgraphs
-          in
-          Ok { workflow = wf; callgraph; solution; deployments })
+      | Some solution -> Ok (plan_of_solution cfg wf ~callgraph solution))
+
+(* Warm-start re-decision (tentpole layer 3): re-decide only the groups the
+   drift report touched, splicing the rest of [prev]'s solution through
+   unchanged.  Deliberately does {e not} fall back to a full solve on its
+   own: an [Error] tells the caller the incremental path does not apply
+   (topology drift, a failed local re-solve, a λ > 0 config whose global
+   penalty scoring a local patch cannot honour, or an explicitly chosen
+   algorithm that bypasses [auto]'s dispatch) so the caller can decide
+   whether escalating to {!optimize} is worth the full decision cost. *)
+let optimize_incremental ?graph (cfg : Config.t) ~(prev : t) ~report (wf : Workflow.t) =
+  if cfg.Config.reliability_lambda > 0.0 then
+    Error "reliability penalty is a global objective: incremental re-decision does not apply"
+  else if cfg.Config.algorithm <> None then
+    Error "explicit algorithm override bypasses incremental re-decision"
+  else
+    let graph_result =
+      match graph with Some g -> Ok g | None -> Error "incremental re-decision needs the window graph"
+    in
+    match graph_result with
+    | Error e -> Error e
+    | Ok callgraph -> (
+        let limits = Config.limits cfg in
+        match
+          Decision.resolve_incremental ~seed:cfg.Config.seed ~domains:cfg.Config.domains
+            ~prev_graph:prev.callgraph ~prev:prev.solution ~report callgraph limits
+        with
+        | None -> Error "incremental re-decision infeasible for this drift"
+        | Some solution -> Ok (plan_of_solution cfg wf ~callgraph solution))
 
 let apply engine (t : t) =
   (* §5.5: the previous functions keep serving until each merged container

@@ -16,12 +16,33 @@ let default_domains () =
     | Some s -> ( match int_of_string_opt s with Some d when d >= 1 -> d | _ -> Domain.recommended_domain_count ())
     | None -> Domain.recommended_domain_count ()
 
+(* Spawn [d - 1] helper domains running [worker], run [worker] in the
+   calling domain too, and join every helper that was actually spawned even
+   if a later [Domain.spawn] itself raises (resource exhaustion): workers
+   drain a shared counter, so the already-running helpers terminate on
+   their own and joining them cannot deadlock. *)
+let run_workers d worker =
+  let spawned = ref [] in
+  (match
+     for _ = 1 to d - 1 do
+       spawned := Domain.spawn worker :: !spawned
+     done
+   with
+  | () -> worker ()
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      worker ();
+      List.iter Domain.join !spawned;
+      Printexc.raise_with_backtrace e bt);
+  List.iter Domain.join !spawned
+
+let effective_domains ?domains n =
+  let requested = match domains with Some d -> d | None -> default_domains () in
+  if sequential_forced () then 1 else min requested n
+
 let mapi_array ?domains f items =
   let n = Array.length items in
-  let d =
-    let requested = match domains with Some d -> d | None -> default_domains () in
-    if sequential_forced () then 1 else min requested n
-  in
+  let d = effective_domains ?domains n in
   if d <= 1 || n <= 1 then Array.mapi f items
   else begin
     let results : ('b, exn * Printexc.raw_backtrace) result option array = Array.make n None in
@@ -39,9 +60,7 @@ let mapi_array ?domains f items =
               | exception e -> Error (e, Printexc.get_raw_backtrace ()))
       done
     in
-    let spawned = List.init (d - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned;
+    run_workers d worker;
     (* Re-raise the earliest failure deterministically, whichever domain hit
        it. *)
     Array.iter
@@ -55,3 +74,7 @@ let map_array ?domains f items = mapi_array ?domains (fun _ x -> f x) items
 let mapi ?domains f items = Array.to_list (mapi_array ?domains f (Array.of_list items))
 
 let map ?domains f items = mapi ?domains (fun _ x -> f x) items
+
+let map_reduce ?domains ~map:f ~reduce init items =
+  let mapped = mapi_array ?domains (fun _ x -> f x) (Array.of_list items) in
+  Array.fold_left reduce init mapped

@@ -156,6 +156,37 @@ let test_pool_error_propagation () =
   | _ -> Alcotest.fail "expected Boom"
   | exception Boom x -> Alcotest.(check int) "sequential too" 2 x
 
+let test_pool_map_reduce () =
+  let xs = List.init 100 (fun i -> i + 1) in
+  Alcotest.(check int) "sum" 5050
+    (Pool.map_reduce ~map:(fun x -> x) ~reduce:( + ) 0 xs);
+  Alcotest.(check int) "sum, 4 domains" 5050
+    (Pool.map_reduce ~domains:4 ~map:(fun x -> x) ~reduce:( + ) 0 xs);
+  (* The fold is an ordered left fold, so a non-commutative reduce must see
+     mapped results exactly in input order. *)
+  let spec = List.fold_left (fun acc x -> (3 * acc) + x) 0 xs in
+  Alcotest.(check int) "non-commutative reduce in input order" spec
+    (Pool.map_reduce ~domains:4 ~map:(fun x -> x) ~reduce:(fun acc x -> (3 * acc) + x) 0 xs);
+  Alcotest.(check (list string)) "reduce sees input order" (List.map string_of_int xs)
+    (List.rev
+       (Pool.map_reduce ~domains:3 ~map:string_of_int ~reduce:(fun acc s -> s :: acc) [] xs));
+  Alcotest.(check int) "empty input yields init" 42
+    (Pool.map_reduce ~map:(fun x -> x) ~reduce:( + ) 42 [])
+
+let test_pool_map_reduce_errors () =
+  (* A failing map must surface the earliest-indexed exception, join every
+     spawned domain, and never run the reduce. *)
+  let reduced = ref 0 in
+  let f x = if x mod 5 = 3 then raise (Boom x) else x in
+  (match Pool.map_reduce ~map:f ~reduce:(fun acc x -> incr reduced; acc + x) 0 (List.init 40 (fun i -> i)) with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom x -> Alcotest.(check int) "earliest failure wins" 3 x);
+  Alcotest.(check int) "reduce never ran" 0 !reduced;
+  (* After the failure the pool must still be usable: no orphaned domains
+     wedging the next spawn. *)
+  Alcotest.(check int) "pool alive after failure" 10
+    (Pool.map_reduce ~domains:4 ~map:(fun x -> x) ~reduce:( + ) 0 [ 1; 2; 3; 4 ])
+
 let prop_pool_matches_list_map =
   QCheck.Test.make ~name:"pool map = List.map for pure functions" ~count:30
     (QCheck.int_range 1 100_000)
@@ -184,6 +215,8 @@ let suite =
         Alcotest.test_case "map array" `Quick test_pool_map_array;
         Alcotest.test_case "empty and single" `Quick test_pool_empty_and_single;
         Alcotest.test_case "error propagation" `Quick test_pool_error_propagation;
+        Alcotest.test_case "map_reduce ordered fold" `Quick test_pool_map_reduce;
+        Alcotest.test_case "map_reduce exception safety" `Quick test_pool_map_reduce_errors;
         QCheck_alcotest.to_alcotest prop_pool_matches_list_map;
       ] );
   ]

@@ -7,6 +7,7 @@
 
 module Callgraph = Quilt_dag.Callgraph
 module Gen = Quilt_dag.Gen
+module Drift = Quilt_dag.Drift
 module Types = Quilt_cluster.Types
 module Closure = Quilt_cluster.Closure
 module Encode = Quilt_cluster.Encode
@@ -614,6 +615,129 @@ let prop_incremental_greedy_matches_reference =
                a.Types.subgraphs b.Types.subgraphs
       | Some _, None | None, Some _ -> false)
 
+(* --- parallel decision subsystem: differential pinning --- *)
+
+let solution_sig (s : Types.solution) =
+  ( s.Types.cost,
+    s.Types.roots,
+    List.map
+      (fun (sg : Types.subgraph) ->
+        (sg.Types.root, List.sort compare sg.Types.absorbed, sg.Types.members))
+      s.Types.subgraphs )
+
+let same_solution a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> solution_sig a = solution_sig b
+  | Some _, None | None, Some _ -> false
+
+let prop_exact_par_matches_exact =
+  QCheck.Test.make ~name:"solve_exact_par = solve_exact (1/2/4 domains, warm on/off)" ~count:30
+    (QCheck.int_range 1 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = Rng.int_in rng 4 12 in
+      let g, lims = Gen.random_rdag rng ~n () in
+      let lim = { Types.max_cpu = lims.Gen.max_cpu; max_mem_mb = lims.Gen.max_mem_mb } in
+      let extras =
+        List.filter (fun v -> v <> g.Callgraph.root && Rng.chance rng 0.5) (List.init n (fun i -> i))
+      in
+      let roots = g.Callgraph.root :: extras in
+      let seq = Closure.solve_exact g lim ~roots in
+      List.for_all
+        (fun domains ->
+          List.for_all
+            (fun warm ->
+              same_solution (Closure.solve_exact_par ~domains ~warm g lim ~roots) seq)
+            [ true; false ])
+        [ 1; 2; 4 ])
+
+let prop_portfolio_auto_matches_sequential =
+  QCheck.Test.make ~name:"portfolio auto = sequential auto (2 and 4 domains)" ~count:15
+    (QCheck.int_range 1 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = Rng.int_in rng 5 13 in
+      let g, lims = Gen.random_rdag rng ~n () in
+      let lim = { Types.max_cpu = lims.Gen.max_cpu; max_mem_mb = lims.Gen.max_mem_mb } in
+      let seq = Decision.auto ~domains:1 g lim in
+      List.for_all (fun d -> same_solution (Decision.auto ~domains:d g lim) seq) [ 2; 4 ])
+
+let test_portfolio_all_regimes () =
+  (* One instance per auto_algorithm regime: exact portfolio (n <= 12),
+     DIH sweep (n <= 60), GRASP (beyond). *)
+  List.iter
+    (fun n ->
+      let rng = Rng.create (2000 + n) in
+      let g, lims = Gen.random_rdag rng ~n () in
+      let lim = { Types.max_cpu = lims.Gen.max_cpu; max_mem_mb = lims.Gen.max_mem_mb } in
+      let seq = Decision.auto ~domains:1 g lim in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d: portfolio output identical" n)
+        true
+        (same_solution (Decision.auto ~domains:4 g lim) seq))
+    [ 10; 30; 70 ]
+
+let resource_drifted_graph rng (g : Callgraph.t) =
+  let n = Callgraph.n_nodes g in
+  let victim = Rng.int_in rng 0 (n - 1) in
+  let nodes =
+    Array.map
+      (fun (nd : Callgraph.node) ->
+        if nd.Callgraph.id = victim then { nd with Callgraph.cpu = nd.Callgraph.cpu *. 1.6 }
+        else nd)
+      g.Callgraph.nodes
+  in
+  Callgraph.make ~nodes ~edges:g.Callgraph.edges ~root:g.Callgraph.root
+    ~invocations:g.Callgraph.invocations
+
+let prop_incremental_matches_touch_all =
+  QCheck.Test.make ~name:"incremental re-decision = everything-touched path" ~count:20
+    (QCheck.int_range 1 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = Rng.int_in rng 5 25 in
+      let g, lims = Gen.random_rdag rng ~n () in
+      let lim = { Types.max_cpu = lims.Gen.max_cpu; max_mem_mb = lims.Gen.max_mem_mb } in
+      match Decision.auto ~domains:1 g lim with
+      | None -> true
+      | Some prev ->
+          let g' = resource_drifted_graph rng g in
+          let report = Drift.detect ~threshold:0.3 g g' in
+          let inc = Decision.resolve_incremental ~prev_graph:g ~prev ~report g' lim in
+          let all =
+            Decision.resolve_incremental ~prev_graph:g ~prev ~report:(Drift.touch_all g') g' lim
+          in
+          same_solution inc all
+          && (match inc with
+             | None -> true
+             | Some s -> Metrics.solution_valid g' lim s = Ok ()))
+
+let test_sequential_escape_hatch () =
+  let saved = Sys.getenv_opt "QUILT_SEQUENTIAL" in
+  let restore () =
+    Unix.putenv "QUILT_SEQUENTIAL" (match saved with Some v -> v | None -> "")
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "QUILT_SEQUENTIAL" "";
+      let rng = Rng.create 4242 in
+      let g, lims = Gen.random_rdag rng ~n:10 () in
+      let lim = { Types.max_cpu = lims.Gen.max_cpu; max_mem_mb = lims.Gen.max_mem_mb } in
+      let seq = Decision.auto ~domains:1 g lim in
+      (* Unforced, the portfolio runs incumbent-driven searches... *)
+      let c0 = Closure.bounded_search_count () in
+      let unforced = Decision.auto ~domains:4 g lim in
+      Alcotest.(check bool) "portfolio uses the bounded search" true
+        (Closure.bounded_search_count () > c0);
+      Alcotest.(check bool) "portfolio output identical" true (same_solution unforced seq);
+      (* ...and QUILT_SEQUENTIAL=1 must keep it off that path end-to-end. *)
+      Unix.putenv "QUILT_SEQUENTIAL" "1";
+      let c1 = Closure.bounded_search_count () in
+      let forced = Decision.auto ~domains:4 g lim in
+      ignore (Closure.solve_exact_par ~domains:4 g lim ~roots:[ g.Callgraph.root ]);
+      Alcotest.(check int) "no incumbent-driven search ran" c1 (Closure.bounded_search_count ());
+      Alcotest.(check bool) "forced result = sequential auto" true (same_solution forced seq))
+
 let test_decision_names () =
   Alcotest.(check string) "optimal" "optimal" (Decision.algorithm_name Decision.Optimal);
   Alcotest.(check string) "dih" "downstream-impact" (Decision.algorithm_name Decision.Dih)
@@ -687,5 +811,13 @@ let suite =
         Alcotest.test_case "auto on small graph" `Quick test_decision_auto_small_graph;
         Alcotest.test_case "algorithm names" `Quick test_decision_names;
         Alcotest.test_case "combinations" `Quick test_combinations;
+      ] );
+    ( "cluster.parallel",
+      [
+        QCheck_alcotest.to_alcotest prop_exact_par_matches_exact;
+        QCheck_alcotest.to_alcotest prop_portfolio_auto_matches_sequential;
+        Alcotest.test_case "portfolio parity across regimes" `Slow test_portfolio_all_regimes;
+        QCheck_alcotest.to_alcotest prop_incremental_matches_touch_all;
+        Alcotest.test_case "QUILT_SEQUENTIAL escape hatch" `Quick test_sequential_escape_hatch;
       ] );
   ]
