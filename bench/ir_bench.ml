@@ -15,6 +15,7 @@ module Interp = Quilt_ir.Interp
 module Vm = Quilt_ir.Vm
 module Compile = Quilt_ir.Compile
 module Qir = Quilt_ir.Ir
+module Verify = Quilt_ir.Verify
 module Json = Quilt_util.Json
 
 let smoke_flag = ref false
@@ -170,10 +171,76 @@ let run () =
        replaces"
   in
   let rows = [ cp_row; dl_row ] in
+
+  (* --- Static-analysis section: what the new framework buys --- *)
+
+  (* Lint throughput: the full strict verifier plus the merge-interference
+     analyzer over the merged compose-post module. *)
+  let lint () = ignore (Verify.run ~strict:true m); ignore (Verify.interference m) in
+  let lint_us = time_us_per_run ~iters:(max 1 (iters / 10)) ~samples lint in
+  let m_instrs = Qir.instr_count m in
+  let lint_kinstr_per_s = float_of_int m_instrs /. lint_us *. 1e3 in
+
+  (* Optimization deltas: the same merge with the analysis-driven passes
+     (SCCP, jump threading, liveness DCE) switched off vs on.  [m] above is
+     the optimized module; the baseline arm recompiles without them. *)
+  let base_report =
+    Pipeline.merge_group
+      ~lookup:(fun svc -> Workflow.lookup wf svc)
+      ~members:(Workflow.fn_names wf) ~root:wf.Workflow.entry ~optimize:false ()
+  in
+  let m0 = base_report.Pipeline.merged_module in
+  let delta name m0 m1 fname req =
+    let s0 = steps_of ~host m0 ~fname ~req and s1 = steps_of ~host m1 ~fname ~req in
+    let i0 = Qir.instr_count m0 and i1 = Qir.instr_count m1 in
+    let p0 = Compile.compile m0 and p1 = Compile.compile m1 in
+    let us0 =
+      time_us_per_run ~iters ~samples (fun () -> Vm.run_handler_prog ~host p0 ~fname ~req)
+    in
+    let us1 =
+      time_us_per_run ~iters ~samples (fun () -> Vm.run_handler_prog ~host p1 ~fname ~req)
+    in
+    Printf.printf
+      "  %-24s instrs %4d -> %4d  steps %5d -> %5d  compiled %8.2f -> %8.2f us/run\n%!" name i0
+      i1 s0 s1 us0 us1;
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("instrs_before", Json.Int i0);
+        ("instrs_after", Json.Int i1);
+        ("steps_before", Json.Int s0);
+        ("steps_after", Json.Int s1);
+        ("compiled_us_before", Json.Float us0);
+        ("compiled_us_after", Json.Float us1);
+      ]
+  in
+  let cp_delta = delta "compose-post-merged" m0 m fname req in
+  (* The native-free loop, optimized standalone: its accumulator chain is a
+     phi-carried cycle only the liveness DCE can retire. *)
+  let dl_opt =
+    Quilt_ir.Pass_livedce.run (Quilt_ir.Pass_jumpthread.run (Quilt_ir.Pass_sccp.run dl))
+  in
+  let dl_delta = delta "dispatch-loop" dl dl_opt "dispatch-loop" dl_req in
+  Printf.printf "  %-24s %6d instrs  strict lint %8.2f us/run  (%.0f kinstr/s)\n%!"
+    "lint:compose-post" m_instrs lint_us lint_kinstr_per_s;
+
   Common.record_timings ~file:"BENCH_ir.json" ~key:"ir"
     [
       ("engine_default", Json.String (Vm.engine_name ()));
       ("iters_per_batch", Json.Int iters);
       ("batches", Json.Int samples);
       ("workloads", Json.List rows);
+      ( "analysis",
+        Json.Obj
+          [
+            ( "lint",
+              Json.Obj
+                [
+                  ("module", Json.String "compose-post-merged");
+                  ("module_instrs", Json.Int m_instrs);
+                  ("strict_lint_us_per_run", Json.Float lint_us);
+                  ("kinstr_per_s", Json.Float lint_kinstr_per_s);
+                ] );
+            ("pass_deltas", Json.List [ cp_delta; dl_delta ]);
+          ] );
     ]

@@ -99,6 +99,66 @@ let merge_cmd async dump_ir req name =
       exit 1);
   if dump_ir then print_string (Quilt_ir.Pp.to_string report.Pipeline.merged_module)
 
+(* Lint either a .qir file or the merged module of a bundled workflow.
+   Base verifier findings always; the strict tier adds typing/dominance
+   checks and the W-series lints; the interference analyzer always runs
+   (its findings are what merging introduces).  Exit 1 on any Error. *)
+let lint_cmd async strict json target =
+  let modul =
+    if Filename.check_suffix target ".qir" || Sys.file_exists target then begin
+      let text = In_channel.with_open_text target In_channel.input_all in
+      try Quilt_ir.Parser.parse_module text
+      with Failure e ->
+        Printf.eprintf "%s: parse error: %s\n" target e;
+        exit 1
+    end
+    else begin
+      let wf = find_workflow ~async target in
+      let report =
+        Pipeline.merge_group
+          ~lookup:(fun svc -> Workflow.lookup wf svc)
+          ~members:(Workflow.fn_names wf) ~root:wf.Workflow.entry ()
+      in
+      report.Pipeline.merged_module
+    end
+  in
+  let module Verify = Quilt_ir.Verify in
+  let diags = Verify.run ~strict modul @ Verify.interference modul in
+  let errors =
+    List.length (List.filter (fun d -> d.Verify.severity = Verify.Error) diags)
+  in
+  if json then begin
+    let module Json = Quilt_util.Json in
+    let of_diag (d : Verify.diagnostic) =
+      Json.obj
+        ([
+           ("code", Json.str d.Verify.code);
+           ( "severity",
+             Json.str (match d.Verify.severity with Verify.Error -> "error" | Verify.Warning -> "warning") );
+           ("where", Json.str d.Verify.where);
+         ]
+        @ (match d.Verify.block with Some b -> [ ("block", Json.str b) ] | None -> [])
+        @ [ ("message", Json.str d.Verify.message) ])
+    in
+    print_endline
+      (Json.to_string
+         (Json.obj
+            [
+              ("module", Json.str modul.Quilt_ir.Ir.mname);
+              ("instrs", Json.Int (Quilt_ir.Ir.instr_count modul));
+              ("strict", Json.Bool strict);
+              ("errors", Json.Int errors);
+              ("diagnostics", Json.List (List.map of_diag diags));
+            ]))
+  end
+  else begin
+    List.iter (fun d -> print_endline (Verify.to_string d)) diags;
+    Printf.printf "%s: %d instrs, %d diagnostics (%d errors)%s\n" modul.Quilt_ir.Ir.mname
+      (Quilt_ir.Ir.instr_count modul) (List.length diags) errors
+      (if strict then " [strict]" else "")
+  end;
+  if errors > 0 then exit 1
+
 let bench_cmd async rate duration seed name =
   let wf = find_workflow ~async name in
   let cfg = { Config.default with Config.seed = Config.default.Config.seed + seed } in
@@ -400,6 +460,27 @@ let merge_t =
     (Cmd.info "merge" ~doc:"Run the Figure-5 merge pipeline over a whole workflow (§5)")
     Term.(const merge_cmd $ async_flag $ dump $ req $ workflow_arg)
 
+let lint_t =
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Add the analysis-backed tier: SSA dominance of every use, per-instruction typing, \
+             phi/CFG agreement, and the unreachable-block / dead-store lints.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON diagnostics.") in
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET" ~doc:"A bundled workflow name (linted post-merge) or a .qir file.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Verify a QIR module: base well-formedness, the strict typed tier, and merge interference")
+    Term.(const lint_cmd $ async_flag $ strict $ json $ target)
+
 (* Shared flag wiring: every load-driving subcommand takes the same
    --seed/--smoke/--engine-stats/--domains set (bundled into one term so a
    command adds all of them with a single [$ run_flags]) and the same
@@ -552,4 +633,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "quilt" ~doc)
-          [ list_t; inspect_t; decide_t; merge_t; bench_t; adapt_t; chaos_t; place_t; obs_t ]))
+          [ list_t; inspect_t; decide_t; merge_t; lint_t; bench_t; adapt_t; chaos_t; place_t; obs_t ]))

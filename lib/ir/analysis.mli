@@ -1,0 +1,89 @@
+(** Reusable static analyses over QIR functions.
+
+    Everything downstream of the parser that needs to reason about control
+    or data flow goes through this module: the strict verifier tier
+    ({!Verify.run} with [~strict:true]), the analysis-driven optimization
+    passes ({!Pass_sccp}, {!Pass_jumpthread}, {!Pass_livedce}), and the
+    [quilt lint] merge-interference checks.
+
+    QIR is unordered SSA: a local may be used textually before its
+    definition (phi-carried loop values), so the analyses here are the
+    only way to ask order-sensitive questions — does this definition
+    dominate that use, is this block reachable, is this value live out of
+    that block. *)
+
+module SS : Set.S with type elt = string
+
+(** {1 Control-flow graph} *)
+
+type cfg = {
+  func : Ir.func;
+  blocks : Ir.block array;  (** Source order; index 0 is the entry block. *)
+  succs : int list array;
+  preds : int list array;  (** Deduplicated: a two-way [Cbr] to one target is one edge. *)
+  reachable : bool array;  (** From the entry block along [succs]. *)
+}
+
+val cfg_of_func : Ir.func -> cfg
+(** Branches to unknown labels are ignored here (the base verifier reports
+    them); a declaration yields an empty graph. *)
+
+val block_index : cfg -> string -> int option
+
+(** {1 Dominators (Cooper–Harvey–Kennedy)} *)
+
+val dominators : cfg -> int array
+(** [idom]: immediate dominator of every reachable block, [idom.(0) = 0]
+    for the entry, [-1] for unreachable blocks. *)
+
+val dominates : idom:int array -> int -> int -> bool
+(** [dominates ~idom a b]: every path from entry to [b] passes through
+    [a] (reflexive).  False whenever [b] is unreachable. *)
+
+(** {1 Definitions and uses} *)
+
+type def_site =
+  | Def_param  (** Defined on entry; dominates every use. *)
+  | Def_instr of { block : int; index : int }
+      (** [index] is the position in [instrs]; phis count as defining at
+          the top of their block (they bind before the instruction loop). *)
+
+val def_sites : cfg -> (string, def_site) Hashtbl.t
+(** First definition wins on (ill-formed) redefinition, matching the
+    interpreter's first-bind behaviour closely enough for diagnostics. *)
+
+val instr_dst : Ir.instr -> string option
+
+val instr_dst_ty : Ir.instr -> (string * Ir.ty) option
+(** Destination and its result type: [Icmp] produces [I1], [Alloca] and
+    [Gep] produce [Ptr], everything else carries its annotation. *)
+
+val instr_operands : Ir.instr -> Ir.value list
+val term_operands : Ir.terminator -> Ir.value list
+
+(** {1 Type inference} *)
+
+val local_types : Ir.func -> (string, Ir.ty) Hashtbl.t
+(** Params plus every instruction destination, via {!instr_dst_ty}. *)
+
+val type_of_value : (string, Ir.ty) Hashtbl.t -> Ir.value -> Ir.ty option
+(** [Cnull] and [Cglobal] type as [Ptr], [Cfloat] as [F64], [Cint] as its
+    annotation; [None] only for undefined locals. *)
+
+(** {1 Backward liveness} *)
+
+type liveness = { live_in : SS.t array; live_out : SS.t array }
+
+val liveness : cfg -> liveness
+(** Per-block fixpoint.  Phi sources count as uses at the end of the
+    matching predecessor (not in the phi's own block); phi destinations
+    are definitions at the top of their block. *)
+
+(** {1 Slot analysis (allocas)} *)
+
+val write_only_slots : Ir.func -> SS.t
+(** Alloca destinations whose only uses are as a [Store] pointer: the
+    slot is never loaded and never escapes (no call argument, gep base,
+    store {e source}, phi, select or return use), so every store to it is
+    dead.  Powers the W002 lint and the dead-store elimination in
+    {!Pass_livedce}. *)

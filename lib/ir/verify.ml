@@ -1,6 +1,37 @@
-type diagnostic = { where : string; message : string }
+type severity = Error | Warning
 
-let diag where fmt = Printf.ksprintf (fun message -> { where; message }) fmt
+type diagnostic = {
+  code : string;
+  severity : severity;
+  where : string;
+  block : string option;
+  message : string;
+}
+
+let diag ~code ?(severity = Error) ?block where fmt =
+  Printf.ksprintf (fun message -> { code; severity; where; block; message }) fmt
+
+let to_string d =
+  Printf.sprintf "%s %s [%s%s] %s" d.code
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.where
+    (match d.block with Some b -> ":" ^ b | None -> "")
+    d.message
+
+let ty_name = function
+  | Ir.I1 -> "i1"
+  | Ir.I8 -> "i8"
+  | Ir.I32 -> "i32"
+  | Ir.I64 -> "i64"
+  | Ir.F64 -> "f64"
+  | Ir.Ptr -> "ptr"
+  | Ir.Void -> "void"
+
+let is_int_ty = function
+  | Ir.I1 | Ir.I8 | Ir.I32 | Ir.I64 -> true
+  | Ir.F64 | Ir.Ptr | Ir.Void -> false
+
+(* --- Base tier: name resolution, arity, return consistency --- *)
 
 let check_func (m : Ir.modul) (f : Ir.func) =
   (* Memoized per-module indexes: O(1) per name probe across the many
@@ -13,7 +44,8 @@ let check_func (m : Ir.modul) (f : Ir.func) =
   let labels = Hashtbl.create 16 in
   List.iter
     (fun (b : Ir.block) ->
-      if Hashtbl.mem labels b.Ir.label then add (diag where "duplicate label %%%s" b.Ir.label);
+      if Hashtbl.mem labels b.Ir.label then
+        add (diag ~code:"V001" ~block:b.Ir.label where "duplicate label %%%s" b.Ir.label);
       Hashtbl.replace labels b.Ir.label ())
     f.Ir.blocks;
   let locals = Hashtbl.create 32 in
@@ -24,127 +56,396 @@ let check_func (m : Ir.modul) (f : Ir.func) =
     (fun (b : Ir.block) ->
       List.iter
         (fun (i : Ir.instr) ->
-          let dst =
-            match i with
-            | Ir.Binop { dst; _ }
-            | Ir.Icmp { dst; _ }
-            | Ir.Alloca { dst; _ }
-            | Ir.Load { dst; _ }
-            | Ir.Gep { dst; _ }
-            | Ir.Phi { dst; _ }
-            | Ir.Select { dst; _ } ->
-                Some dst
-            | Ir.Call { dst; _ } -> dst
-            | Ir.Store _ -> None
-          in
-          match dst with
+          match Analysis.instr_dst i with
           | Some d ->
-              if Hashtbl.mem locals d then add (diag where "local %%%s defined twice" d);
+              if Hashtbl.mem locals d then
+                add (diag ~code:"V002" ~block:b.Ir.label where "local %%%s defined twice" d);
               Hashtbl.replace locals d ()
           | None -> ())
         b.Ir.instrs)
     f.Ir.blocks;
-  let check_value v =
-    match v with
-    | Ir.Local l -> if not (Hashtbl.mem locals l) then add (diag where "use of undefined local %%%s" l)
-    | Ir.Const (Ir.Cglobal g) ->
-        if gidx g = None && fidx g = None then
-          add (diag where "reference to undefined global @%s" g)
-    | Ir.Const (Ir.Cint _ | Ir.Cfloat _ | Ir.Cnull) -> ()
-  in
-  let check_label l =
-    if not (Hashtbl.mem labels l) then add (diag where "branch to undefined label %%%s" l)
-  in
   List.iter
     (fun (b : Ir.block) ->
+      let block = b.Ir.label in
+      let check_value v =
+        match v with
+        | Ir.Local l ->
+            if not (Hashtbl.mem locals l) then
+              add (diag ~code:"V003" ~block where "use of undefined local %%%s" l)
+        | Ir.Const (Ir.Cglobal g) ->
+            if gidx g = None && fidx g = None then
+              add (diag ~code:"V004" ~block where "reference to undefined global @%s" g)
+        | Ir.Const (Ir.Cint _ | Ir.Cfloat _ | Ir.Cnull) -> ()
+      in
+      let check_label l =
+        if not (Hashtbl.mem labels l) then
+          add (diag ~code:"V009" ~block where "branch to undefined label %%%s" l)
+      in
       List.iter
         (fun (i : Ir.instr) ->
-          match i with
-          | Ir.Binop { lhs; rhs; _ } | Ir.Icmp { lhs; rhs; _ } ->
-              check_value lhs;
-              check_value rhs
-          | Ir.Call { callee; args; ret; _ } ->
+          (match i with
+          | Ir.Call { callee; args; ret; dst } -> (
               List.iter (fun (_, v) -> check_value v) args;
               let known_sig =
                 match fidx callee with
-                | Some target ->
-                    Some (List.map snd target.Ir.params, target.Ir.ret_ty)
+                | Some target -> Some (List.map snd target.Ir.params, target.Ir.ret_ty)
                 | None -> Intrinsics.signature callee
               in
               (match known_sig with
-              | None -> add (diag where "call to unknown function @%s" callee)
+              | None -> add (diag ~code:"V005" ~block where "call to unknown function @%s" callee)
               | Some (ptys, rty) ->
                   if List.length ptys <> List.length args then
-                    add (diag where "call to @%s with %d args, expected %d" callee (List.length args)
-                           (List.length ptys))
+                    add
+                      (diag ~code:"V006" ~block where "call to @%s with %d args, expected %d" callee
+                         (List.length args) (List.length ptys))
                   else
                     List.iter2
                       (fun expected (got, _) ->
                         if expected <> got then
-                          add (diag where "call to @%s argument type mismatch" callee))
+                          add
+                            (diag ~code:"V007" ~block where "call to @%s argument type mismatch"
+                               callee))
                       ptys args;
-                  if rty <> ret then add (diag where "call to @%s return type mismatch" callee))
-          | Ir.Alloca { bytes; _ } -> check_value bytes
-          | Ir.Load { ptr; _ } -> check_value ptr
-          | Ir.Store { src; ptr; _ } ->
-              check_value src;
-              check_value ptr
-          | Ir.Gep { base; offset; _ } ->
-              check_value base;
-              check_value offset
-          | Ir.Phi { incoming; _ } ->
-              List.iter
-                (fun (v, l) ->
-                  check_value v;
-                  check_label l)
-                incoming
-          | Ir.Select { cond; if_true; if_false; _ } ->
-              check_value cond;
-              check_value if_true;
-              check_value if_false)
+                  if rty <> ret then
+                    add (diag ~code:"V008" ~block where "call to @%s return type mismatch" callee));
+              match dst with
+              | Some d when ret = Ir.Void ->
+                  add
+                    (diag ~code:"V013" ~block where
+                       "void call to @%s must not bind a destination (%%%s)" callee d)
+              | Some _ | None -> ())
+          | Ir.Phi { incoming; _ } -> List.iter (fun (_, l) -> check_label l) incoming
+          | Ir.Binop _ | Ir.Icmp _ | Ir.Alloca _ | Ir.Load _ | Ir.Store _ | Ir.Gep _ | Ir.Select _
+            ->
+              ());
+          match i with
+          | Ir.Call _ -> () (* args checked above *)
+          | _ -> List.iter check_value (Analysis.instr_operands i))
         b.Ir.instrs;
-      match b.Ir.term with
+      (match b.Ir.term with
       | Ir.Ret None ->
-          if f.Ir.ret_ty <> Ir.Void then add (diag where "ret void in non-void function")
+          if f.Ir.ret_ty <> Ir.Void then
+            add (diag ~code:"V010" ~block where "ret void in %s function" (ty_name f.Ir.ret_ty))
       | Ir.Ret (Some (ty, v)) ->
           check_value v;
-          if ty <> f.Ir.ret_ty then add (diag where "ret type mismatch")
+          if f.Ir.ret_ty = Ir.Void then
+            add (diag ~code:"V010" ~block where "ret with a value in void function")
+          else if ty <> f.Ir.ret_ty then
+            add
+              (diag ~code:"V010" ~block where "ret type %s, function returns %s" (ty_name ty)
+                 (ty_name f.Ir.ret_ty))
       | Ir.Br l -> check_label l
       | Ir.Cbr { cond; if_true; if_false } ->
           check_value cond;
           check_label if_true;
           check_label if_false
-      | Ir.Unreachable -> ())
+      | Ir.Unreachable -> ());
+      ())
     f.Ir.blocks;
-  if f.Ir.blocks <> [] then begin
-    match f.Ir.blocks with
-    | { Ir.label = "entry"; _ } :: _ -> ()
-    | { Ir.label = l; _ } :: _ -> add (diag where "first block must be entry, found %%%s" l)
-    | [] -> ()
-  end;
+  (match f.Ir.blocks with
+  | { Ir.label = "entry"; _ } :: _ | [] -> ()
+  | { Ir.label = l; _ } :: _ ->
+      add (diag ~code:"V011" ~block:l where "first block must be entry, found %%%s" l));
   List.rev !out
 
-let run (m : Ir.modul) =
+(* --- Strict tier: dominance, typing, CFG/phi agreement, lints --- *)
+
+let check_func_strict (f : Ir.func) =
+  if Ir.is_declaration f then []
+  else begin
+    let cfg = Analysis.cfg_of_func f in
+    let idom = Analysis.dominators cfg in
+    let defs = Analysis.def_sites cfg in
+    let types = Analysis.local_types f in
+    let out = ref [] in
+    let add d = out := d :: !out in
+    let where = f.Ir.fname in
+    let ty_of v = Analysis.type_of_value types v in
+    (* [expect ~code ~block what ty v]: operand [v] must type as [ty] when
+       its type is known at all (undefined locals are the base tier's
+       V003, not re-reported here). *)
+    let expect ~code ~block what ty v =
+      match ty_of v with
+      | Some got when got <> ty ->
+          add (diag ~code ~block where "%s must be %s, got %s" what (ty_name ty) (ty_name got))
+      | Some _ | None -> ()
+    in
+    let expect_int ~code ~block what v =
+      match ty_of v with
+      | Some got when not (is_int_ty got) ->
+          add (diag ~code ~block where "%s must be an integer, got %s" what (ty_name got))
+      | Some _ | None -> ()
+    in
+    (* A definition dominates a use at instruction [ii] of block [bi]
+       (ii = max_int for the terminator).  Phis define at the top of their
+       block (index -1) and bind before the instruction loop runs. *)
+    let def_dominates_point l ~bi ~ii =
+      match Hashtbl.find_opt defs l with
+      | Some Analysis.Def_param | None -> true
+      | Some (Analysis.Def_instr { block = db; index = di }) ->
+          if db = bi then di < ii else Analysis.dominates ~idom db bi
+    in
+    let def_dominates_block_end l ~bi =
+      match Hashtbl.find_opt defs l with
+      | Some Analysis.Def_param | None -> true
+      | Some (Analysis.Def_instr { block = db; _ }) ->
+          db = bi || Analysis.dominates ~idom db bi
+    in
+    Array.iteri
+      (fun bi (b : Ir.block) ->
+        let block = b.Ir.label in
+        let pred_labels =
+          List.sort_uniq String.compare
+            (List.map (fun p -> cfg.Analysis.blocks.(p).Ir.label) cfg.Analysis.preds.(bi))
+        in
+        if not cfg.Analysis.reachable.(bi) then
+          add
+            (diag ~code:"W001" ~severity:Warning ~block where "block %%%s is unreachable" block)
+        else begin
+          (* S001: every use dominated by its definition. *)
+          let check_use ~ii v =
+            match v with
+            | Ir.Local l ->
+                if not (def_dominates_point l ~bi ~ii) then
+                  add
+                    (diag ~code:"S001" ~block where "use of %%%s is not dominated by its definition"
+                       l)
+            | Ir.Const _ -> ()
+          in
+          List.iteri
+            (fun ii (i : Ir.instr) ->
+              match i with
+              | Ir.Phi { incoming; _ } ->
+                  List.iter
+                    (fun (v, l) ->
+                      match v with
+                      | Ir.Local x -> (
+                          match Analysis.block_index cfg l with
+                          | Some p when List.mem p cfg.Analysis.preds.(bi) ->
+                              if not (def_dominates_block_end x ~bi:p) then
+                                add
+                                  (diag ~code:"S001" ~block where
+                                     "phi source %%%s does not dominate the end of %%%s" x l)
+                          | Some _ | None -> () (* stray incoming: S007 below *))
+                      | Ir.Const _ -> ())
+                    incoming
+              | _ -> List.iter (check_use ~ii) (Analysis.instr_operands i))
+            b.Ir.instrs;
+          List.iter (check_use ~ii:max_int) (Analysis.term_operands b.Ir.term)
+        end;
+        List.iter
+          (fun (i : Ir.instr) ->
+            match i with
+            | Ir.Binop { op; ty; lhs; rhs; _ } -> (
+                match ty with
+                | Ir.F64 ->
+                    (match op with
+                    | Ir.Add | Ir.Sub | Ir.Mul | Ir.Sdiv -> ()
+                    | Ir.Srem | Ir.And | Ir.Or | Ir.Xor | Ir.Shl | Ir.Lshr ->
+                        add (diag ~code:"S002" ~block where "bitwise/rem binop on f64"));
+                    expect ~code:"S002" ~block "binop lhs" Ir.F64 lhs;
+                    expect ~code:"S002" ~block "binop rhs" Ir.F64 rhs
+                | Ir.I1 | Ir.I8 | Ir.I32 | Ir.I64 ->
+                    expect ~code:"S002" ~block "binop lhs" ty lhs;
+                    expect ~code:"S002" ~block "binop rhs" ty rhs
+                | Ir.Ptr | Ir.Void ->
+                    add (diag ~code:"S002" ~block where "binop at type %s" (ty_name ty)))
+            | Ir.Icmp { ty; lhs; rhs; _ } ->
+                if ty = Ir.Void then add (diag ~code:"S003" ~block where "icmp at type void");
+                expect ~code:"S003" ~block "icmp lhs" ty lhs;
+                expect ~code:"S003" ~block "icmp rhs" ty rhs
+            | Ir.Select { ty; cond; if_true; if_false; _ } ->
+                if ty = Ir.Void then add (diag ~code:"S004" ~block where "select at type void");
+                expect ~code:"S004" ~block "select condition" Ir.I1 cond;
+                expect ~code:"S004" ~block "select true arm" ty if_true;
+                expect ~code:"S004" ~block "select false arm" ty if_false
+            | Ir.Phi { ty; incoming; _ } ->
+                if ty = Ir.Void then add (diag ~code:"S005" ~block where "phi at type void");
+                List.iter
+                  (fun (v, l) -> expect ~code:"S005" ~block (Printf.sprintf "phi incoming from %%%s" l) ty v)
+                  incoming
+            | Ir.Load { ty; ptr; _ } ->
+                if ty = Ir.Void then add (diag ~code:"S006" ~block where "load at type void");
+                expect ~code:"S006" ~block "load pointer" Ir.Ptr ptr
+            | Ir.Store { ty; src; ptr } ->
+                if ty = Ir.Void then add (diag ~code:"S006" ~block where "store at type void");
+                expect ~code:"S006" ~block "store source" ty src;
+                expect ~code:"S006" ~block "store pointer" Ir.Ptr ptr
+            | Ir.Alloca { bytes; _ } -> expect_int ~code:"S006" ~block "alloca size" bytes
+            | Ir.Gep { base; offset; _ } ->
+                expect ~code:"S006" ~block "gep base" Ir.Ptr base;
+                expect_int ~code:"S006" ~block "gep offset" offset
+            | Ir.Call { callee; args; _ } ->
+                List.iter
+                  (fun (ty, v) ->
+                    expect ~code:"S009" ~block
+                      (Printf.sprintf "argument to @%s declared %s" callee (ty_name ty))
+                      ty v)
+                  args)
+          b.Ir.instrs;
+        (match b.Ir.term with
+        | Ir.Ret (Some (ty, v)) when ty <> Ir.Void -> expect ~code:"S009" ~block "ret operand" ty v
+        | Ir.Ret _ | Ir.Br _ | Ir.Unreachable -> ()
+        | Ir.Cbr { cond; _ } -> expect ~code:"S009" ~block "cbr condition" Ir.I1 cond);
+        (* S007 / S008: phi placement agrees with the CFG. *)
+        let phis =
+          List.filter_map
+            (fun i -> match i with Ir.Phi { dst; incoming; _ } -> Some (dst, incoming) | _ -> None)
+            b.Ir.instrs
+        in
+        if bi = 0 then begin
+          match phis with
+          | (dst, _) :: _ ->
+              add (diag ~code:"S008" ~block where "phi %%%s in entry block" dst)
+          | [] -> ()
+        end
+        else if cfg.Analysis.reachable.(bi) then
+          List.iter
+            (fun (dst, incoming) ->
+              let inc_labels = List.sort_uniq String.compare (List.map snd incoming) in
+              if inc_labels <> pred_labels then
+                add
+                  (diag ~code:"S007" ~block where
+                     "phi %%%s incomings {%s} disagree with predecessors {%s}" dst
+                     (String.concat ", " inc_labels)
+                     (String.concat ", " pred_labels)))
+            phis)
+      cfg.Analysis.blocks;
+    (* W002: stores into slots that are never read. *)
+    let dead_slots = Analysis.write_only_slots f in
+    if not (Analysis.SS.is_empty dead_slots) then
+      Array.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun i ->
+              match i with
+              | Ir.Store { ptr = Ir.Local p; _ } when Analysis.SS.mem p dead_slots ->
+                  add
+                    (diag ~code:"W002" ~severity:Warning ~block:b.Ir.label where
+                       "store to %%%s, a slot that is never read" p)
+              | _ -> ())
+            b.Ir.instrs)
+        cfg.Analysis.blocks;
+    List.rev !out
+  end
+
+(* --- Merge-interference analyzer --- *)
+
+let member_of fname =
+  let try_suffix suf =
+    let n = String.length fname and k = String.length suf in
+    if n > k && String.sub fname (n - k) k = suf then Some (String.sub fname 0 (n - k)) else None
+  in
+  match try_suffix "__handler" with Some m -> Some m | None -> try_suffix "__local"
+
+let interference (m : Ir.modul) =
+  let out = ref [] in
+  let add d = out := d :: !out in
+  (* M001: a name bound in both namespaces makes @name ambiguous. *)
+  let fnames = Hashtbl.create 64 in
+  List.iter (fun (f : Ir.func) -> Hashtbl.replace fnames f.Ir.fname ()) m.Ir.funcs;
+  List.iter
+    (fun (g : Ir.global) ->
+      if Hashtbl.mem fnames g.Ir.gname then
+        add (diag ~code:"M001" "module" "@%s is both a function and a global" g.Ir.gname))
+    m.Ir.globals;
+  (* M002: a mutable global written by two or more members. *)
+  let gidx = Ir.global_index m in
+  let writers : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ir.func) ->
+      match member_of f.Ir.fname with
+      | None -> ()
+      | Some member ->
+          List.iter
+            (fun (b : Ir.block) ->
+              List.iter
+                (fun i ->
+                  match i with
+                  | Ir.Store { ptr = Ir.Const (Ir.Cglobal g); _ } -> (
+                      match gidx g with
+                      | Some gl when not gl.Ir.gconst ->
+                          let seen = Option.value ~default:[] (Hashtbl.find_opt writers g) in
+                          if not (List.mem member seen) then
+                            Hashtbl.replace writers g (member :: seen)
+                      | Some _ | None -> ())
+                  | _ -> ())
+                b.Ir.instrs)
+            f.Ir.blocks)
+    m.Ir.funcs;
+  Hashtbl.iter
+    (fun g members ->
+      if List.length members > 1 then
+        add
+          (diag ~code:"M002" ~severity:Warning "module" "global @%s is written by members %s" g
+             (String.concat ", " (List.sort String.compare members))))
+    writers;
+  (* M003: cross-language call sites whose declared types disagree with
+     the callee — a broken ABI shim. *)
+  let fidx = Ir.func_index m in
+  List.iter
+    (fun (f : Ir.func) ->
+      match f.Ir.lang with
+      | None -> ()
+      | Some caller_lang ->
+          List.iter
+            (fun (b : Ir.block) ->
+              List.iter
+                (fun i ->
+                  match i with
+                  | Ir.Call { callee; args; ret; _ } -> (
+                      match fidx callee with
+                      | Some target -> (
+                          match target.Ir.lang with
+                          | Some callee_lang when callee_lang <> caller_lang ->
+                              let ptys = List.map snd target.Ir.params in
+                              if
+                                List.length ptys <> List.length args
+                                || List.exists2 (fun p (a, _) -> p <> a) ptys args
+                                || ret <> target.Ir.ret_ty
+                              then
+                                add
+                                  (diag ~code:"M003" ~block:b.Ir.label f.Ir.fname
+                                     "%s -> %s call to @%s crosses an ABI boundary with \
+                                      mismatched types"
+                                     caller_lang callee_lang callee)
+                          | Some _ | None -> ())
+                      | None -> ())
+                  | _ -> ())
+                b.Ir.instrs)
+            f.Ir.blocks)
+    m.Ir.funcs;
+  List.rev !out
+
+(* --- Entry points --- *)
+
+let run ?(strict = false) (m : Ir.modul) =
   let out = ref [] in
   let seen = Hashtbl.create 64 in
   List.iter
     (fun (f : Ir.func) ->
       if Hashtbl.mem seen f.Ir.fname then
-        out := diag "module" "duplicate symbol @%s" f.Ir.fname :: !out;
+        out := diag ~code:"V012" "module" "duplicate symbol @%s" f.Ir.fname :: !out;
       Hashtbl.replace seen f.Ir.fname ())
     m.Ir.funcs;
   let gseen = Hashtbl.create 64 in
   List.iter
     (fun (g : Ir.global) ->
-      if Hashtbl.mem gseen g.Ir.gname then out := diag "module" "duplicate global @%s" g.Ir.gname :: !out;
+      if Hashtbl.mem gseen g.Ir.gname then
+        out := diag ~code:"V012" "module" "duplicate global @%s" g.Ir.gname :: !out;
       Hashtbl.replace gseen g.Ir.gname ())
     m.Ir.globals;
-  let func_diags = List.concat_map (fun f -> check_func m f) m.Ir.funcs in
+  let func_diags =
+    List.concat_map
+      (fun f -> check_func m f @ if strict then check_func_strict f else [])
+      m.Ir.funcs
+  in
   List.rev !out @ func_diags
 
-let check_exn m =
-  match run m with
+let check_exn ?strict ?stage m =
+  match List.filter (fun d -> d.severity = Error) (run ?strict m) with
   | [] -> ()
   | diags ->
-      let msgs = List.map (fun d -> Printf.sprintf "[%s] %s" d.where d.message) diags in
-      failwith ("Verify: " ^ String.concat "; " msgs)
+      let msgs = List.map to_string diags in
+      let prefix = match stage with None -> "Verify" | Some s -> "Verify[" ^ s ^ "]" in
+      failwith (prefix ^ ": " ^ String.concat "; " msgs)

@@ -1,17 +1,49 @@
 (** Module well-formedness checks, run after every pipeline stage.
 
-    Catches the bugs merging could introduce: duplicate symbols, calls whose
-    signature disagrees with the target, branches to missing labels, uses of
-    undefined locals, references to missing globals, and missing
-    terminators.  [run] returns all diagnostics; [check_exn] raises on the
-    first. *)
+    Two tiers.  The base tier catches what merging most often breaks:
+    duplicate symbols, calls whose signature disagrees with the target,
+    branches to missing labels, uses of undefined locals, references to
+    missing globals, and return-type inconsistencies.  The strict tier
+    ([run ~strict:true]) layers the {!Analysis}-backed checks on top: SSA
+    dominance of every use, operand/result typing for every instruction
+    class, phi-incoming-edges-match-CFG-predecessors, entry-block-has-no-
+    phis, plus unreachable-block and dead-store lints (warnings).
 
-type diagnostic = { where : string; message : string }
+    Every diagnostic carries a stable code, a severity, the function and —
+    when known — the block it points at, so callers can filter, count, or
+    render them ([quilt lint --json] does all three). *)
 
-val run : Ir.modul -> diagnostic list
-(** Empty when the module is well-formed.  Calls to functions with no
-    declaration or definition in the module are reported unless their name
-    is in {!Intrinsics.names} (the host runtime). *)
+type severity = Error | Warning
 
-val check_exn : Ir.modul -> unit
-(** Raises [Failure] with a readable summary if {!run} is non-empty. *)
+type diagnostic = {
+  code : string;  (** Stable: [Vnnn] base, [Snnn] strict, [Wnnn] lint, [Mnnn] interference. *)
+  severity : severity;
+  where : string;  (** Function name, or ["module"] for module-level findings. *)
+  block : string option;  (** Block label when the finding is inside one. *)
+  message : string;
+}
+
+val to_string : diagnostic -> string
+(** [code severity [fn:block] message] — the line format of [quilt lint]. *)
+
+val run : ?strict:bool -> Ir.modul -> diagnostic list
+(** Empty when the module is well-formed (base tier) and, with
+    [~strict:true], well-typed and properly dominated.  Calls to functions
+    with no declaration or definition in the module are reported unless
+    their name is in {!Intrinsics.names} (the host runtime).  Strict-tier
+    warnings (unreachable blocks, dead stores) never appear without
+    [~strict:true]. *)
+
+val interference : Ir.modul -> diagnostic list
+(** The merge-interference analyzer: findings specific to modules produced
+    by fusing several members.  [M001] (error) — one name bound as both a
+    function and a global, so [@name] references are ambiguous; [M002]
+    (warning) — a mutable global stored to by two or more distinct members
+    (member = the [svc] of a [svc__handler] / [svc__local] symbol);
+    [M003] (error) — a call across a language boundary whose argument or
+    return types disagree with the callee, i.e. a broken ABI shim. *)
+
+val check_exn : ?strict:bool -> ?stage:string -> Ir.modul -> unit
+(** Raises [Failure] with a readable summary if {!run} reports any
+    [Error]-severity diagnostic ([Warning]s never raise).  [stage] names
+    the pipeline stage in the summary. *)

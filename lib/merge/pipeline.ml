@@ -51,8 +51,15 @@ let bfs_order ~members ~edges ~root =
     members;
   List.rev !order
 
-let merge_group_uncached ~lookup ~members ~root ~edge_mode ~billing () =
+let merge_group_uncached ~lookup ~members ~root ~edge_mode ~billing ~optimize () =
   if not (List.mem root members) then failwith "Pipeline.merge_group: root must be a member";
+  (* The strict verifier runs after every stage: a stage that breaks SSA
+     dominance, typing or phi/CFG agreement is reported by name instead of
+     surfacing as a miscompiled module three passes later. *)
+  let checked ~stage m =
+    Verify.check_exn ~strict:true ~stage m;
+    m
+  in
   let member_set = Hashtbl.create 16 in
   List.iter (fun m -> Hashtbl.replace member_set m ()) members;
   (* Member-internal edges from the ASTs. *)
@@ -74,7 +81,7 @@ let merge_group_uncached ~lookup ~members ~root ~edge_mode ~billing () =
       Hashtbl.replace service_of_symbol (Ast.local_symbol svc) svc)
     members;
   let root_handler = entry_handler root in
-  let merged = ref (Frontend.compile (lookup root)) in
+  let merged = ref (checked ~stage:"frontend" (Frontend.compile (lookup root))) in
   let rounds = ref [] in
   List.iter
     (fun callee ->
@@ -109,7 +116,7 @@ let merge_group_uncached ~lookup ~members ~root ~edge_mode ~billing () =
           Pass_mergefunc.rewrite_call_sites !merged ~service:callee ~local_name ~callee_lang ~mode
             ~reset_in:(Some root_handler)
         in
-        merged := m';
+        merged := checked ~stage:("mergefunc:" ^ callee) m';
         rounds := (callee, n) :: !rounds
       end)
     order;
@@ -132,25 +139,31 @@ let merge_group_uncached ~lookup ~members ~root ~edge_mode ~billing () =
           Pass_mergefunc.rewrite_call_sites !merged ~service:callee ~local_name ~callee_lang ~mode
             ~reset_in:(Some root_handler)
         in
-        merged := m';
+        merged := checked ~stage:("resweep:" ^ callee) m';
         if n > 0 then
           rounds :=
             List.map (fun (c, k) -> if c = callee then (c, k + n) else (c, k)) !rounds
       end)
     order;
   (* Step ⑦: DelayHTTP. *)
-  merged := Pass_delayhttp.run !merged;
+  merged := checked ~stage:"delayhttp" (Pass_delayhttp.run !merged);
   (* Steps ⑧–⑩: scalar simplification (folds the localization aliases and
-     anything constant), then strip everything unreachable from the entry
-     handler. *)
-  merged := Pass_simplify.run !merged;
+     anything constant), the analysis-driven optimization passes, then
+     strip everything unreachable from the entry handler. *)
+  merged := checked ~stage:"simplify" (Pass_simplify.run !merged);
+  if optimize then begin
+    merged := checked ~stage:"shiminline" (Pass_shiminline.run !merged);
+    merged := checked ~stage:"sccp" (Pass_sccp.run !merged);
+    merged := checked ~stage:"jumpthread" (Pass_jumpthread.run !merged);
+    merged := checked ~stage:"livedce" (Pass_livedce.run !merged)
+  end;
   let before = List.length !merged.Ir.funcs + List.length !merged.Ir.globals in
-  merged := Pass_dce.run ~roots:[ root_handler ] !merged;
+  merged := checked ~stage:"dce" (Pass_dce.run ~roots:[ root_handler ] !merged);
   let after = List.length !merged.Ir.funcs + List.length !merged.Ir.globals in
   (* Optional per-function billing instrumentation (§8). *)
-  if billing then merged := Pass_billing.run !merged;
+  if billing then merged := checked ~stage:"billing" (Pass_billing.run !merged);
   merged := { !merged with Ir.mname = Printf.sprintf "quilt-merged.%s" (Ast.mangle root) };
-  Verify.check_exn !merged;
+  Verify.check_exn ~strict:true ~stage:"final" !merged;
   {
     rounds = List.rev !rounds;
     removed_symbols = before - after;
@@ -193,13 +206,15 @@ let reset_cache () =
 
 let fn_digest (f : Ast.fn) = Digest.to_hex (Digest.string (Marshal.to_string f []))
 
-let cache_key ~lookup ~members ~root ~edge_mode ~billing =
+let cache_key ~lookup ~members ~root ~edge_mode ~billing ~optimize =
   let sorted = List.sort String.compare members in
   let buf = Buffer.create 512 in
   Buffer.add_string buf "root=";
   Buffer.add_string buf root;
   Buffer.add_string buf ";billing=";
   Buffer.add_string buf (if billing then "1" else "0");
+  Buffer.add_string buf ";optimize=";
+  Buffer.add_string buf (if optimize then "1" else "0");
   List.iter
     (fun m ->
       Buffer.add_string buf ";fn:";
@@ -230,11 +245,11 @@ let cache_key ~lookup ~members ~root ~edge_mode ~billing =
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let merge_group ~lookup ~members ~root ?(edge_mode = fun ~caller:_ ~callee:_ -> Always_local)
-    ?(billing = false) () =
+    ?(billing = false) ?(optimize = true) () =
   if not (Atomic.get cache_enabled) then
-    merge_group_uncached ~lookup ~members ~root ~edge_mode ~billing ()
+    merge_group_uncached ~lookup ~members ~root ~edge_mode ~billing ~optimize ()
   else begin
-    let key = cache_key ~lookup ~members ~root ~edge_mode ~billing in
+    let key = cache_key ~lookup ~members ~root ~edge_mode ~billing ~optimize in
     Mutex.lock cache_lock;
     let cached = Hashtbl.find_opt cache key in
     Mutex.unlock cache_lock;
@@ -244,7 +259,7 @@ let merge_group ~lookup ~members ~root ?(edge_mode = fun ~caller:_ ~callee:_ -> 
         report
     | None ->
         ignore (Atomic.fetch_and_add cache_misses 1);
-        let report = merge_group_uncached ~lookup ~members ~root ~edge_mode ~billing () in
+        let report = merge_group_uncached ~lookup ~members ~root ~edge_mode ~billing ~optimize () in
         Mutex.lock cache_lock;
         Hashtbl.replace cache key report;
         Mutex.unlock cache_lock;

@@ -31,12 +31,21 @@ val merge_group :
   root:string ->
   ?edge_mode:(caller:string -> callee:string -> edge_mode) ->
   ?billing:bool ->
+  ?optimize:bool ->
   unit ->
   report
 (** [members] are service names (the root included); [lookup] resolves each
     to its source.  The call graph is derived from the ASTs; only edges
     between members are merged.  [edge_mode] defaults to
     [fun ~caller:_ ~callee:_ -> Always_local].
+    [optimize] (default [true]) runs the analysis-driven optimization
+    passes — {!Quilt_ir.Pass_shiminline}, {!Quilt_ir.Pass_sccp},
+    {!Quilt_ir.Pass_jumpthread}, {!Quilt_ir.Pass_livedce} — after scalar
+    simplification; [false] is the before-arm of [bench/main.exe ir]'s
+    analysis section.
+    Every stage's output is checked by the strict verifier
+    ({!Quilt_ir.Verify.run} with [~strict:true]); an [Error]-severity
+    finding fails the merge immediately, naming the stage.
     Raises [Failure] if a member is unreachable from the root through
     member-internal edges (the subgraph would not be a connected rDAG). *)
 

@@ -142,6 +142,56 @@ let prop_merged_module_text_roundtrip =
       | Ok (got, _) -> got = expected
       | Error _ -> false)
 
+(* The analysis-driven optimization passes (shim inlining, SCCP, jump
+   threading, liveness DCE) must be observationally invisible: same
+   response, same billing, same per-callee call counts — except for the
+   inlined shims themselves, whose call-stack entries disappear by
+   design.  Executed steps may only shrink (instruction count may not:
+   inlining a shim with several call sites duplicates its tiny body). *)
+let prop_optimize_differential =
+  QCheck.Test.make ~name:"fuzz: optimize passes preserve response/calls/billing" ~count:60
+    (QCheck.int_range 1 1_000_000)
+    (fun seed ->
+      let names, fns = gen_workflow seed in
+      let merge opt =
+        Pipeline.merge_group ~lookup:(lookup_for fns) ~members:names ~root:(List.hd names)
+          ~billing:true ~optimize:opt ()
+      in
+      let r0 = merge false and r1 = merge true in
+      let req = Printf.sprintf "{\"data\":\"o%d\",\"k\":%d}" (seed mod 50) (seed mod 17) in
+      let run (r : Pipeline.report) =
+        Interp.run_handler ~host:Interp.null_host r.Pipeline.merged_module
+          ~fname:r.Pipeline.entry ~req
+      in
+      match (run r0, run r1) with
+      | Ok (a, s0), Ok (b, s1) ->
+          let sorted tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
+          let non_shim tbl =
+            List.filter (fun (k, _) -> not (Quilt_ir.Pass_shiminline.is_shim k)) (sorted tbl)
+          in
+          a = b
+          && sorted s0.Interp.billing = sorted s1.Interp.billing
+          && non_shim s0.Interp.calls = non_shim s1.Interp.calls
+          && s1.Interp.steps <= s0.Interp.steps
+      | Error e0, Error e1 -> e0 = e1
+      | _ -> false)
+
+(* Every merged module is clean under the strict verifier and the
+   interference analyzer: no Error-severity diagnostic, ever. *)
+let prop_merged_strict_clean =
+  QCheck.Test.make ~name:"fuzz: merged modules lint clean under --strict" ~count:60
+    (QCheck.int_range 1 1_000_000)
+    (fun seed ->
+      let names, fns = gen_workflow seed in
+      let report =
+        Pipeline.merge_group ~lookup:(lookup_for fns) ~members:names ~root:(List.hd names) ()
+      in
+      let m = report.Pipeline.merged_module in
+      let module Verify = Quilt_ir.Verify in
+      List.for_all
+        (fun d -> d.Verify.severity <> Verify.Error)
+        (Verify.run ~strict:true m @ Verify.interference m))
+
 (* --- Differential harness: tree-walker vs QVM --- *)
 
 (* Everything observable about a run, including mutable-hashtable stats
@@ -255,6 +305,8 @@ let suite =
         QCheck_alcotest.to_alcotest prop_merged_module_text_roundtrip;
         QCheck_alcotest.to_alcotest prop_guarded_merge_equals_reference;
         QCheck_alcotest.to_alcotest prop_pipeline_report_covers_members;
+        QCheck_alcotest.to_alcotest prop_optimize_differential;
+        QCheck_alcotest.to_alcotest prop_merged_strict_clean;
       ] );
     ( "fuzz.vm-differential",
       [

@@ -9,6 +9,7 @@ let () =
        Test_ilp.suite;
        Test_cluster.suite;
        Test_ir.suite;
+       Test_analysis.suite;
        Test_lang.suite;
        Test_merge.suite;
        Test_platform.suite;
